@@ -1,0 +1,60 @@
+"""Ablation: SZ predictor generations (interpolation vs Lorenzo).
+
+SZ3's headline improvement over earlier SZ versions is replacing the
+Lorenzo predictor with multilevel spline interpolation (Zhao et al.,
+ICDE 2021 — reference [5] of the SPERR paper), which wins chiefly at
+low-to-medium bitrates.  This bench runs both predictors of our SZ-like
+baseline across tolerance levels and records the gap.
+"""
+
+from __future__ import annotations
+
+from common import emit, quick_mode
+from repro.analysis import banner, format_table
+from repro.compressors.szlike import SzLikeCompressor
+from repro.core.modes import PweMode
+from repro.datasets import miranda_pressure, nyx_dark_matter_density
+
+
+def test_ablation_sz_predictor(benchmark):
+    shape = (16, 16, 16) if quick_mode() else (32, 32, 32)
+    fields = {
+        "Miranda Pressure": miranda_pressure(shape),
+        "Nyx DM Density": nyx_dark_matter_density(shape),
+    }
+    idx_levels = (10, 20) if quick_mode() else (10, 20, 30)
+
+    rows = []
+
+    def run():
+        for fname, data in fields.items():
+            rng = float(data.max() - data.min())
+            for idx in idx_levels:
+                mode = PweMode(rng / 2**idx)
+                cell = [f"{fname} idx={idx}"]
+                for pred in ("cubic", "linear", "lorenzo"):
+                    c = SzLikeCompressor(interpolation=pred)
+                    payload = c.compress(data, mode)
+                    cell.append(8 * len(payload) / data.size)
+                rows.append(cell)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cubic_wins = 0
+    for row in rows:
+        cubic, linear, lorenzo = row[1], row[2], row[3]
+        # cubic interpolation never loses badly to either alternative
+        assert cubic <= min(linear, lorenzo) * 1.15, row
+        if cubic <= lorenzo:
+            cubic_wins += 1
+    assert cubic_wins >= len(rows) // 2
+
+    emit(
+        "ablation_predictor",
+        banner(f"Ablation: SZ-like predictor, achieved BPP at tolerance ({shape})")
+        + "\n"
+        + format_table(["case", "cubic", "linear", "lorenzo"], rows)
+        + "\n(SZ3 paper: interpolation supersedes Lorenzo, biggest wins at "
+        "loose tolerances)",
+    )

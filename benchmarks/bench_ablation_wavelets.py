@@ -1,0 +1,61 @@
+"""Ablation: wavelet choice (Sec. III-A design decision).
+
+The paper picks CDF 9/7 "among a large selection of available wavelets"
+for its rate-distortion performance and near-orthogonality.  This bench
+swaps in CDF 5/3 and Haar and measures accuracy gain at a fixed
+tolerance — CDF 9/7 should win on every smooth field.
+"""
+
+from __future__ import annotations
+
+from common import emit, quick_mode
+from repro.analysis import banner, format_table
+from repro.core import PweMode, compress, decompress, tolerance_from_idx
+from repro.datasets import miranda_pressure, miranda_viscosity, nyx_velocity_x
+from repro.metrics import accuracy_gain
+
+
+def test_ablation_wavelet_choice(benchmark):
+    shape = (16, 16, 16) if quick_mode() else (32, 32, 32)
+    fields = {
+        "Miranda Pressure": miranda_pressure(shape),
+        "Miranda Viscosity": miranda_viscosity(shape),
+        "Nyx X Velocity": nyx_velocity_x(shape),
+    }
+    idx = 16
+    wavelets = ("cdf97", "cdf53", "haar")
+
+    gains: dict[tuple[str, str], float] = {}
+
+    def run():
+        for fname, data in fields.items():
+            mode = PweMode(tolerance_from_idx(data, idx))
+            for wavelet in wavelets:
+                result = compress(data, mode, wavelet=wavelet)
+                recon = decompress(result.payload)
+                gains[(fname, wavelet)] = accuracy_gain(data, recon, result.bpp)
+        return gains
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for fname in fields:
+        row = [fname] + [gains[(fname, w)] for w in wavelets]
+        rows.append(row)
+        # the longer 9/7 filter must dominate the 5/3 on every field
+        assert gains[(fname, "cdf97")] >= gains[(fname, "cdf53")] - 0.05, fname
+
+    # ... and win on the smooth fields overall.  (Haar can edge ahead on
+    # fields dominated by sharp material interfaces — its compact support
+    # avoids ringing — which is worth recording, not hiding.)
+    assert gains[("Miranda Pressure", "cdf97")] >= gains[("Miranda Pressure", "haar")] - 0.05
+
+    emit(
+        "ablation_wavelets",
+        banner(f"Ablation: accuracy gain by wavelet at idx={idx} ({shape})")
+        + "\n"
+        + format_table(["field"] + list(wavelets), rows)
+        + "\n(paper: CDF 9/7 chosen for rate-distortion performance and "
+        "near-orthogonality; note Haar's edge on interface-dominated "
+        "fields at this small scale)",
+    )

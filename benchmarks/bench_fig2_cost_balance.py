@@ -1,0 +1,56 @@
+"""Fig. 2: total coding cost vs quantization step q, split into wavelet
+coefficient and outlier components (Miranda Pressure at a tight t).
+
+Expected shape: coefficient cost falls with q, outlier cost rises, and
+their sum is U-shaped with the minimum near q in [1.4t, 1.8t].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import emit, quick_mode
+from repro.analysis import banner, format_table, q_sweep
+from repro.datasets import miranda_pressure
+
+
+def test_fig2_cost_balance(benchmark):
+    shape = (20, 20, 20) if quick_mode() else (32, 32, 32)
+    data = miranda_pressure(shape)
+    idx = 22  # a tight tolerance, mirroring the paper's 3.64e-11 setting
+    q_factors = (1.0, 1.2, 1.4, 1.5, 1.6, 1.8, 2.0, 2.4, 3.0)
+
+    points = benchmark.pedantic(
+        lambda: q_sweep(data, idx=idx, q_factors=q_factors), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            p.q_factor,
+            p.total_bpp,
+            p.coeff_bpp,
+            p.outlier_bpp,
+            f"{100 * p.outlier_bpp / p.total_bpp:.1f}%",
+        ]
+        for p in points
+    ]
+
+    coeff = [p.coeff_bpp for p in points]
+    outlier = [p.outlier_bpp for p in points]
+    total = [p.total_bpp for p in points]
+    # coefficient cost monotonically falls with q, outlier cost rises
+    assert all(a >= b - 0.05 for a, b in zip(coeff, coeff[1:]))
+    assert all(a <= b + 0.05 for a, b in zip(outlier, outlier[1:]))
+    # the minimum of the U-curve sits in the paper's sweet-spot band
+    best_q = points[int(np.argmin(total))].q_factor
+    assert 1.0 <= best_q <= 2.0
+
+    emit(
+        "fig2",
+        banner(f"Fig. 2: coding cost vs q (Miranda-like pressure {shape}, idx={idx})")
+        + "\n"
+        + format_table(
+            ["q/t", "total BPP", "coeff BPP", "outlier BPP", "outlier share"], rows
+        )
+        + f"\nminimum total cost at q = {best_q}t (paper: sweet spot 1.4t-1.8t)",
+    )

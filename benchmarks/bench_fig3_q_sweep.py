@@ -1,0 +1,62 @@
+"""Fig. 3: Delta-BPP (top row) and Delta-PSNR (bottom row) vs q for four
+fields at multiple tolerance levels.
+
+Expected shapes: the Delta-BPP curves are U-shaped with minima mostly in
+q = 1.4t..1.8t; the Delta-PSNR curves are monotonically decreasing
+(more outlier coding only hurts average error), which together justify
+SPERR's conservative q = 1.5t default (Sec. IV-D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import emit, quick_mode
+from repro.analysis import banner, format_series, q_sweep
+from repro.datasets import (
+    miranda_pressure,
+    miranda_viscosity,
+    nyx_dark_matter_density,
+    nyx_velocity_x,
+)
+
+
+def test_fig3_q_sweep(benchmark):
+    shape = (16, 16, 16) if quick_mode() else (24, 24, 24)
+    fields = {
+        "Miranda Viscosity": (miranda_viscosity(shape), (10, 16) if quick_mode() else (10, 16, 22)),
+        "Miranda Pressure": (miranda_pressure(shape), (10, 16) if quick_mode() else (10, 16, 22)),
+        "Nyx DM Density": (nyx_dark_matter_density(shape), (10, 16)),
+        "Nyx X Velocity": (nyx_velocity_x(shape), (10, 16)),
+    }
+    q_factors = (1.0, 1.2, 1.4, 1.5, 1.6, 1.8, 2.0, 2.4, 3.0)
+
+    results: dict[tuple[str, int], list] = {}
+
+    def sweep_all():
+        for name, (data, idx_levels) in fields.items():
+            for idx in idx_levels:
+                results[(name, idx)] = q_sweep(data, idx=idx, q_factors=q_factors)
+        return results
+
+    benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+
+    lines = [banner(f"Fig. 3 top: Delta-BPP vs q (relative to the per-curve minimum), {shape}")]
+    sweet_spot_hits = 0
+    for (name, idx), pts in results.items():
+        bpp = np.array([p.total_bpp for p in pts])
+        lines.append(format_series(f"{name} idx={idx}", q_factors, bpp - bpp.min()))
+        if 1.2 <= q_factors[int(np.argmin(bpp))] <= 2.0:
+            sweet_spot_hits += 1
+
+    lines.append(banner("Fig. 3 bottom: Delta-PSNR vs q (relative to the per-curve minimum)"))
+    for (name, idx), pts in results.items():
+        psnr = np.array([p.psnr_db for p in pts])
+        lines.append(format_series(f"{name} idx={idx}", q_factors, psnr - psnr.min()))
+        # bottom row: monotonically decreasing (within measurement noise)
+        assert all(a >= b - 0.5 for a, b in zip(psnr, psnr[1:])), (name, idx)
+
+    # most U-curve minima fall in/near the paper's sweet-spot band
+    assert sweet_spot_hits >= len(results) // 2
+
+    emit("fig3", "\n".join(lines))

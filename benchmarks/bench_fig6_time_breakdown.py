@@ -1,0 +1,50 @@
+"""Fig. 6: serial compression time broken into the four pipeline stages
+(wavelet transform, SPECK coding, outlier locating, outlier coding) as
+the PWE tolerance tightens (Miranda Viscosity).
+
+Expected shape: total time grows with idx, driven almost entirely by
+SPECK coding; transform time is flat (it ignores the tolerance); outlier
+locate/code times stay roughly stable because the q = 1.5t rule keeps
+the outlier count steady.
+"""
+
+from __future__ import annotations
+
+from common import emit, quick_mode
+from repro.analysis import banner, format_table, time_breakdown
+from repro.datasets import miranda_viscosity
+
+
+def test_fig6_time_breakdown(benchmark):
+    shape = (24, 24, 16) if quick_mode() else (48, 48, 32)
+    data = miranda_viscosity(shape)
+    idx_levels = [10, 20] if quick_mode() else [10, 20, 30, 40, 50]
+
+    rows_data = benchmark.pedantic(
+        lambda: time_breakdown(data, idx_levels), rounds=1, iterations=1
+    )
+
+    rows = [
+        [r.idx, r.transform, r.speck, r.locate, r.outlier_code, r.total]
+        for r in rows_data
+    ]
+
+    # total time grows with tighter tolerances, driven by SPECK
+    totals = [r.total for r in rows_data]
+    assert totals[-1] > totals[0]
+    speck_share_tight = rows_data[-1].speck / rows_data[-1].total
+    assert speck_share_tight > 0.3, "SPECK should dominate at tight tolerances"
+    # transform cost is tolerance-independent (flat within noise)
+    transforms = [r.transform for r in rows_data]
+    assert max(transforms) < 5 * max(min(transforms), 1e-4)
+
+    emit(
+        "fig6",
+        banner(f"Fig. 6: compression time breakdown, Miranda-like viscosity {shape}")
+        + "\n"
+        + format_table(
+            ["idx", "transform s", "speck s", "locate s", "outlier-code s", "total s"],
+            rows,
+        )
+        + "\n(paper: SPECK time grows with idx; transform flat; outlier stages stable)",
+    )

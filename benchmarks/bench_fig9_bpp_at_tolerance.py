@@ -1,0 +1,85 @@
+"""Fig. 9: achieved bitrate when satisfying a PWE tolerance, across the
+Table II field/level grid.
+
+Only the error-bounded compressors participate (TTHRESH has no PWE mode,
+exactly as in the paper).  MGARD-like entries are dropped at idx = 40
+levels when they violate the tolerance or degenerate to exact storage —
+mirroring the paper's exclusion of MGARD at idx = 40.
+
+Expected shape: SPERR uses the fewest bits in all but a couple of cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import emit, quick_mode
+from repro.analysis import TABLE_II, banner, format_table, load_entry
+from repro.compressors import (
+    MgardLikeCompressor,
+    SperrCompressor,
+    SzLikeCompressor,
+    ZfpLikeCompressor,
+)
+from repro.core.modes import PweMode
+
+
+def test_fig9_bpp_at_tolerance(benchmark):
+    shape = (16, 16, 16) if quick_mode() else (24, 24, 24)
+    entries = TABLE_II[:4] if quick_mode() else TABLE_II
+    compressors = [
+        SperrCompressor(),
+        SzLikeCompressor(),
+        ZfpLikeCompressor(),
+        MgardLikeCompressor(),
+    ]
+
+    cells: dict[tuple[str, str], float | None] = {}
+
+    def run():
+        for entry in entries:
+            data, tol = load_entry(entry, shape=shape)
+            for comp in compressors:
+                if comp.name == "mgard-like" and entry.idx >= 40:
+                    # the paper excludes MGARD at idx=40 ("results obviously
+                    # exceeding the error tolerance"); our stand-in instead
+                    # degenerates to exact storage there — excluded either way
+                    cells[(entry.abbrev, comp.name)] = None
+                    continue
+                payload = comp.compress(data, PweMode(tol))
+                recon = comp.decompress(payload)
+                err = float(np.abs(recon - data).max())
+                bpp = 8.0 * len(payload) / data.size
+                cells[(entry.abbrev, comp.name)] = bpp if err <= tol else None
+        return cells
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    sperr_best = 0
+    counted = 0
+    for entry in entries:
+        row: list[object] = [entry.abbrev]
+        values = {}
+        for comp in compressors:
+            v = cells[(entry.abbrev, comp.name)]
+            row.append("excluded" if v is None else v)
+            if v is not None:
+                values[comp.name] = v
+        rows.append(row)
+        if "sperr" in values and len(values) > 1:
+            counted += 1
+            if values["sperr"] <= min(values.values()) + 1e-9:
+                sperr_best += 1
+
+    # paper: SPERR uses the least bits in all but two cases
+    assert sperr_best >= counted - 3, f"SPERR best in only {sperr_best}/{counted}"
+
+    emit(
+        "fig9",
+        banner(f"Fig. 9: achieved BPP at the PWE tolerance (fields at {shape})")
+        + "\n"
+        + format_table(["field-idx"] + [c.name for c in compressors], rows)
+        + f"\nSPERR lowest bitrate in {sperr_best}/{counted} grid cells "
+        "(paper: all but two)",
+    )

@@ -1,0 +1,45 @@
+"""Table I: translation of idx labels to actual PWE tolerances.
+
+Regenerates the table's rows for a concrete field and checks the
+"intuitive understanding" column (thousandth/millionth/billionth/
+trillionth of the data range).
+"""
+
+from __future__ import annotations
+
+from common import emit
+from repro.analysis import banner, format_table
+from repro.core import data_range, tolerance_from_idx
+from repro.datasets import miranda_pressure
+
+
+def test_table1_tolerance_translation(benchmark):
+    data = miranda_pressure((24, 24, 24))
+    rng = data_range(data)
+
+    def translate():
+        return [tolerance_from_idx(rng, idx) for idx in (10, 20, 30, 40)]
+
+    tolerances = benchmark(translate)
+
+    rows = []
+    for idx, t, label in zip(
+        (10, 20, 30, 40),
+        tolerances,
+        (
+            "one thousandth of the data range",
+            "one millionth of the data range",
+            "one billionth of the data range",
+            "one trillionth of the data range",
+        ),
+    ):
+        rows.append([idx, t, t / rng, label])
+        # the "approx Range * 10^-k" reading of Table I
+        assert 0.5 * 10 ** -(3 * idx // 10) < t / rng < 2.0 * 10 ** -(3 * idx // 10)
+
+    emit(
+        "table1",
+        banner("Table I: idx -> PWE tolerance (Miranda-like pressure, range %.4g)" % rng)
+        + "\n"
+        + format_table(["idx", "tolerance t", "t / Range", "reading"], rows),
+    )

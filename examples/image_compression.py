@@ -1,0 +1,61 @@
+"""2-D image compression with outlier inspection (the Fig. 1 setting).
+
+SPERR handles 2-D slices with the same pipeline as volumes (quadtree
+instead of octree partitioning).  This example compresses the procedural
+lighthouse test image at several tolerances and reports PSNR, SSIM, and
+the outlier statistics that Fig. 1 visualizes — including the
+Clark-Evans ratio showing outlier positions are spatially random, the
+paper's justification for 1-D linearization.
+
+Run: python examples/image_compression.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis import clark_evans_ratio, format_table, outlier_map
+from repro.datasets import lighthouse
+from repro.metrics import psnr, ssim
+
+
+def main() -> None:
+    img = lighthouse((192, 288))
+    print(f"input image: {img.shape}, range [{img.min():.0f}, {img.max():.0f}]\n")
+
+    rows = []
+    for idx in (6, 8, 10, 12):
+        tol = repro.tolerance_from_idx(img, idx)
+        result = repro.compress(img, repro.PweMode(tol))
+        recon = repro.decompress(result.payload)
+        assert np.abs(recon - img).max() <= tol
+        rows.append(
+            [
+                idx,
+                f"{result.bpp:.2f}",
+                f"{psnr(img, recon):.1f}",
+                f"{ssim(img, recon):.4f}",
+                f"{100 * result.n_outliers / img.size:.2f}%",
+            ]
+        )
+    print(format_table(["idx", "bpp", "PSNR dB", "SSIM", "outliers"], rows))
+
+    # Fig. 1: outlier maps at the paper's three q settings.
+    print("\noutlier spatial statistics at idx=9 (Fig. 1 reproduction):")
+    for qf in (1.3, 1.5, 1.7):
+        om = outlier_map(img, idx=9, q_factor=qf)
+        ce = clark_evans_ratio(om.positions, om.shape)
+        print(
+            f"  q = {qf}t: {om.positions.size:5d} outliers "
+            f"({100 * om.fraction:5.2f}%), Clark-Evans ratio {ce:.3f} "
+            "(1.0 = spatially random)"
+        )
+    print(
+        "\nno clustering at any setting - which is why SPERR flattens outlier"
+        "\narrays to 1-D before coding (paper Sec. IV-C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

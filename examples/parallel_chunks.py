@@ -1,0 +1,65 @@
+"""Chunk-parallel compression of a larger volume (Sec. III-D).
+
+Divides a volume into chunks, compresses them through the thread
+executor, and reports the efficiency cost of chunking (smaller chunks
+mean more wavelet boundaries and shallower transforms — the Fig. 5
+trade-off) against the parallelism each chunk count enables.
+
+Run: python examples/parallel_chunks.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+import repro
+from repro.analysis import format_table, lpt_makespan
+from repro.datasets import miranda_density
+from repro.metrics import accuracy_gain
+
+
+def main() -> None:
+    data = miranda_density((64, 64, 64))
+    tolerance = repro.tolerance_from_idx(data, idx=12)
+    mode = repro.PweMode(tolerance)
+
+    rows = []
+    for chunk in (64, 32, 16, 8):
+        t0 = time.perf_counter()
+        result = repro.compress(data, mode, chunk_shape=chunk, executor="thread")
+        elapsed = time.perf_counter() - t0
+        recon = repro.decompress(result.payload)
+        assert np.abs(recon - data).max() <= tolerance
+        n_chunks = len(result.reports)
+        # modelled speedup on a 16-worker node for this chunking
+        times = [r.timings["speck"] + r.timings["transform"] for r in result.reports]
+        speedup16 = sum(times) / max(lpt_makespan(times, 16), 1e-9)
+        rows.append(
+            [
+                f"{chunk}^3",
+                n_chunks,
+                f"{result.bpp:.3f}",
+                f"{accuracy_gain(data, recon, result.bpp):.2f}",
+                f"{elapsed:.2f}s",
+                f"{min(speedup16, n_chunks):.1f}x",
+            ]
+        )
+
+    print("chunk-size trade-off on a 64^3 volume (PWE idx=12):\n")
+    print(
+        format_table(
+            ["chunk", "#chunks", "bpp", "gain", "wall time", "16-worker speedup"],
+            rows,
+        )
+    )
+    print(
+        "\nbigger chunks compress better (higher gain, lower bpp); smaller"
+        "\nchunks expose more parallelism - SPERR defaults to 256^3 at"
+        "\nproduction scale to get both (paper Sec. V-B)."
+    )
+
+
+if __name__ == "__main__":
+    main()

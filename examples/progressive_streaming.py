@@ -1,0 +1,56 @@
+"""Progressive (embedded) decoding from a truncated stream.
+
+SPECK's bitplane-by-bitplane output is *embedded*: any prefix of the
+coefficient stream decodes to a valid, coarser reconstruction (paper
+Sec. VII lists this as a key capability for streaming applications).
+This example compresses a field once, then reconstructs from 5%, 20%,
+50%, and 100% of the SPECK stream, showing quality ramping up while the
+transmitted byte count shrinks.
+
+Run: python examples/progressive_streaming.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.datasets import qmcpack_orbitals
+from repro.metrics import psnr, rmse
+from repro.speck import decode_coefficients, encode_coefficients
+from repro.wavelets import forward, inverse
+
+
+def main() -> None:
+    data = qmcpack_orbitals((24, 24, 24), n_orbitals=2)
+    coeffs, plan = forward(data)
+
+    # Encode once at high precision; the receiver decides how much to read.
+    q = float(np.abs(coeffs).max()) / 2**20
+    stream, nbits, _, _ = encode_coefficients(coeffs, q)
+    print(f"full SPECK stream: {len(stream)} bytes ({nbits / data.size:.2f} bpp)\n")
+
+    rows = []
+    for fraction in (0.05, 0.2, 0.5, 1.0):
+        nb = max(8, int(nbits * fraction))
+        prefix = stream[: (nb + 7) // 8]
+        partial = decode_coefficients(prefix, coeffs.shape, q, nbits=nb)
+        recon = inverse(partial, plan)
+        rows.append(
+            [
+                f"{100 * fraction:.0f}%",
+                len(prefix),
+                f"{nb / data.size:.2f}",
+                f"{rmse(data, recon):.3e}",
+                f"{psnr(data, recon):.1f}",
+            ]
+        )
+    print(format_table(["prefix", "bytes sent", "bpp", "RMSE", "PSNR dB"], rows))
+    print(
+        "\nevery prefix is decodable; quality improves monotonically with the"
+        "\nnumber of transmitted bits - no re-encoding, one stream serves all."
+    )
+
+
+if __name__ == "__main__":
+    main()

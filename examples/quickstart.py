@@ -1,0 +1,50 @@
+"""Quickstart: compress a 3-D field with a point-wise error guarantee.
+
+Run: python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.datasets import miranda_viscosity
+from repro.metrics import max_pwe, psnr
+
+
+def main() -> None:
+    # A synthetic turbulence field standing in for simulation output.
+    data = miranda_viscosity((48, 48, 48))
+    print(f"input: {data.shape} float64, {data.nbytes} bytes")
+
+    # Pick a tolerance the way the paper labels them (Table I):
+    # idx=20 means one millionth of the data range.
+    tolerance = repro.tolerance_from_idx(data, idx=20)
+    print(f"PWE tolerance: {tolerance:.3e}")
+
+    # Error-bounded compression (SPERR's headline mode).
+    result = repro.compress(data, repro.PweMode(tolerance))
+    print(
+        f"compressed: {result.nbytes} bytes "
+        f"({result.bpp:.2f} bits/point, ratio {data.nbytes / result.nbytes:.1f}x), "
+        f"{result.n_outliers} outliers corrected"
+    )
+
+    # Decompress and verify the guarantee.
+    recon = repro.decompress(result.payload)
+    err = max_pwe(data, recon)
+    print(f"max point-wise error: {err:.3e}  (<= tolerance: {err <= tolerance})")
+    print(f"PSNR: {psnr(data, recon):.1f} dB")
+    assert err <= tolerance
+
+    # Size-bounded compression (fixed bitrate) is one line away.
+    fixed = repro.compress(data, repro.SizeMode(bpp=2.0))
+    recon2 = repro.decompress(fixed.payload)
+    print(
+        f"\nsize-bounded at 2 bpp: achieved {fixed.bpp:.2f} bpp, "
+        f"PSNR {psnr(data, recon2):.1f} dB"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Domain-specific quality control: power-spectrum preservation.
+
+The paper's evaluation uses generic metrics (accuracy gain, PSNR) and
+explicitly recommends domain-specific checks before adopting a
+compressor (Sec. VI-C).  For turbulence users the question is: down to
+which scale does the compressed field preserve the energy spectrum?
+
+This example compresses a Kolmogorov-like velocity field at several
+tolerance levels and reports, per level, the achieved bitrate and the
+fraction of the wavenumber range whose shell power survives within 10%.
+
+Run: python examples/spectral_fidelity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis import format_table, spectral_fidelity
+from repro.datasets import miranda_velocity_x
+
+
+def main() -> None:
+    data = miranda_velocity_x((48, 48, 48))
+    rows = []
+    for idx in (4, 8, 12, 16, 20):
+        tol = repro.tolerance_from_idx(data, idx)
+        result = repro.compress(data, repro.PweMode(tol))
+        recon = repro.decompress(result.payload)
+        fid = spectral_fidelity(data, recon, nbins=16)
+        rows.append(
+            [
+                idx,
+                f"{result.bpp:.2f}",
+                f"{data.nbytes / result.nbytes:.1f}x",
+                f"{100 * fid.resolved_fraction(0.10):.0f}%",
+                f"{fid.ratio[-1]:.3f}",
+            ]
+        )
+
+    print("spectral fidelity of SPERR on a turbulence-like velocity field:\n")
+    print(
+        format_table(
+            ["idx", "bpp", "ratio", "spectrum preserved (10%)", "Nyquist-shell power ratio"],
+            rows,
+        )
+    )
+    print(
+        "\nreading: loose tolerances clip the smallest scales (power ratio at"
+        "\nthe Nyquist shell < 1) while tighter ones preserve the full inertial"
+        "\nrange - choose idx by the scales your analysis needs."
+    )
+
+
+if __name__ == "__main__":
+    main()

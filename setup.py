@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline
+(the container has setuptools but no wheel package)."""
+from setuptools import setup
+
+setup()

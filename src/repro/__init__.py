@@ -1,0 +1,56 @@
+"""repro — a pure-Python reproduction of SPERR (IPDPS 2023).
+
+SPERR is a lossy compressor for structured scientific data built on the
+CDF 9/7 wavelet transform and the SPECK set-partitioning coder, extended
+with an outlier-coding stage that guarantees a maximum point-wise error
+(PWE).  This package reimplements the full system plus the baseline
+compressors and evaluation harness of the paper.
+
+Quickstart::
+
+    import numpy as np
+    import repro
+
+    data = np.random.default_rng(0).standard_normal((64, 64, 64))
+    tol = repro.tolerance_from_idx(data, idx=20)       # Range / 2**20
+    result = repro.compress(data, repro.PweMode(tol))
+    recon = repro.decompress(result.payload)
+    assert np.abs(recon - data).max() <= tol           # the PWE guarantee
+"""
+
+from .core import (
+    CompressionResult,
+    PsnrMode,
+    PweMode,
+    SizeMode,
+    compress,
+    data_range,
+    decompress,
+    tolerance_from_idx,
+)
+from .errors import (
+    BudgetError,
+    InvalidArgumentError,
+    ReproError,
+    StreamFormatError,
+    UnsupportedModeError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressionResult",
+    "PweMode",
+    "PsnrMode",
+    "SizeMode",
+    "compress",
+    "decompress",
+    "data_range",
+    "tolerance_from_idx",
+    "ReproError",
+    "InvalidArgumentError",
+    "StreamFormatError",
+    "BudgetError",
+    "UnsupportedModeError",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Table II: the field/tolerance grid used by Figs. 9, 10, and 11.
+
+Abbreviations follow the paper exactly; each maps to a synthetic
+stand-in field (see :mod:`repro.datasets.fields`) plus a tolerance label
+``idx`` with ``t = Range / 2**idx``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets import get_field
+
+__all__ = ["TableIIEntry", "TABLE_II", "load_entry"]
+
+
+@dataclass(frozen=True)
+class TableIIEntry:
+    """One column of the Fig. 9-11 grids."""
+
+    abbrev: str
+    field: str
+    idx: int
+
+
+#: The paper's Table II grid (field abbreviation -> field + idx).
+TABLE_II: tuple[TableIIEntry, ...] = (
+    TableIIEntry("CH4-20", "s3d_ch4", 20),
+    TableIIEntry("CH4-40", "s3d_ch4", 40),
+    TableIIEntry("Temp-20", "s3d_temperature", 20),
+    TableIIEntry("Temp-40", "s3d_temperature", 40),
+    TableIIEntry("VX1-20", "s3d_velocity_x", 20),
+    TableIIEntry("VX1-40", "s3d_velocity_x", 40),
+    TableIIEntry("Press-20", "miranda_pressure", 20),
+    TableIIEntry("Press-40", "miranda_pressure", 40),
+    TableIIEntry("Visc-20", "miranda_viscosity", 20),
+    TableIIEntry("Visc-40", "miranda_viscosity", 40),
+    TableIIEntry("VX2-20", "miranda_velocity_x", 20),
+    TableIIEntry("VX2-40", "miranda_velocity_x", 40),
+    TableIIEntry("QMC-20", "qmcpack_orbitals", 20),
+    TableIIEntry("Nyx-20", "nyx_dark_matter_density", 20),
+    TableIIEntry("VX3-20", "nyx_velocity_x", 20),
+)
+
+
+def load_entry(
+    entry: TableIIEntry, shape: tuple[int, ...] | None = None
+) -> tuple[np.ndarray, float]:
+    """Materialize a Table II entry; returns ``(field, tolerance)``."""
+    data = get_field(entry.field, shape=shape)
+    rng = float(data.max() - data.min())
+    return data, rng / float(2**entry.idx)

@@ -1,0 +1,89 @@
+"""Rate-distortion sweep driver (Fig. 8 and Fig. 9 machinery).
+
+Runs a compressor across tolerance levels (``idx`` labels) and collects
+``(bpp, PSNR, accuracy gain, max PWE)`` per level — one point of a
+rate-distortion curve per idx, matching the paper's methodology
+("We increment idx from zero to the point where t is approaching machine
+epsilon", Sec. VI-C).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compressors.base import Compressor, PsnrMode, psnr_target_for_idx
+from ..core.modes import PweMode
+from ..errors import ReproError
+from ..metrics import accuracy_gain, max_pwe, psnr
+
+__all__ = ["RdPoint", "rd_point", "rd_sweep"]
+
+
+@dataclass(frozen=True)
+class RdPoint:
+    """One rate-distortion measurement."""
+
+    compressor: str
+    idx: int
+    tolerance: float
+    bpp: float
+    psnr_db: float
+    gain: float
+    max_err: float
+    compress_seconds: float
+    decompress_seconds: float
+    satisfied: bool  # PWE tolerance respected (always True for PSNR modes)
+
+
+def rd_point(
+    compressor: Compressor, data: np.ndarray, idx: int
+) -> RdPoint:
+    """Compress/decompress one field at one idx level and measure."""
+    rng = float(data.max() - data.min())
+    tolerance = rng / float(2**idx)
+    if isinstance(compressor.supported_modes, tuple) and PsnrMode in compressor.supported_modes:
+        mode = PsnrMode(psnr_target_for_idx(max(1, idx)))
+    else:
+        mode = PweMode(tolerance)
+    t0 = time.perf_counter()
+    payload = compressor.compress(data, mode)
+    t1 = time.perf_counter()
+    recon = compressor.decompress(payload)
+    t2 = time.perf_counter()
+    err = max_pwe(data, recon)
+    bpp = 8.0 * len(payload) / data.size
+    return RdPoint(
+        compressor=compressor.name,
+        idx=idx,
+        tolerance=tolerance,
+        bpp=bpp,
+        psnr_db=psnr(data, recon),
+        gain=accuracy_gain(data, recon, bpp),
+        max_err=err,
+        compress_seconds=t1 - t0,
+        decompress_seconds=t2 - t1,
+        satisfied=err <= tolerance or isinstance(mode, PsnrMode),
+    )
+
+
+def rd_sweep(
+    compressor: Compressor,
+    data: np.ndarray,
+    idx_values: list[int],
+    *,
+    skip_errors: bool = True,
+) -> list[RdPoint]:
+    """Sweep idx levels; failed levels are skipped (the paper terminates
+    offending runs, e.g. TTHRESH at tight tolerances) unless
+    ``skip_errors=False``."""
+    points: list[RdPoint] = []
+    for idx in idx_values:
+        try:
+            points.append(rd_point(compressor, data, idx))
+        except ReproError:
+            if not skip_errors:
+                raise
+    return points

@@ -1,0 +1,51 @@
+"""Plain-text table and series formatting for the benchmark harness.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep that output aligned and uniform (pure ASCII, no plotting
+dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "banner"]
+
+
+def banner(title: str) -> str:
+    """Section header used by every bench."""
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """One plotted series as `name: (x, y) (x, y) ...`."""
+    pairs = " ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

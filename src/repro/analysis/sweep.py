@@ -1,0 +1,75 @@
+"""Quantization-step sweeps: the q/t balance studies of Figs. 2, 3, 4.
+
+SPERR's total cost divides into wavelet-coefficient coding and outlier
+coding; the split is controlled by ``q``, the coefficient quantization
+step expressed in units of the tolerance ``t``.  These helpers compress
+one field at a grid of ``q`` factors and record the full cost breakdown
+per point, which the benches then shape into the paper's panels:
+
+* Fig. 2 — BPP cost split (coefficients vs outliers) vs q;
+* Fig. 3 top — Delta-BPP vs q (U-shaped curves, sweet spot 1.4t-1.8t);
+* Fig. 3 bottom — Delta-PSNR vs q (monotonically decreasing);
+* Fig. 4 — bits-per-outlier and outlier percentage vs q.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.modes import PweMode
+from ..core.pipeline import compress_chunk, decompress_chunk
+from ..metrics import psnr
+
+__all__ = ["QSweepPoint", "q_sweep", "DEFAULT_Q_FACTORS"]
+
+#: The paper's sweep range: q from t to 3t.
+DEFAULT_Q_FACTORS = (1.0, 1.2, 1.4, 1.5, 1.6, 1.8, 2.0, 2.4, 3.0)
+
+
+@dataclass(frozen=True)
+class QSweepPoint:
+    """Cost breakdown for one (field, tolerance, q) combination."""
+
+    q_factor: float
+    tolerance: float
+    total_bpp: float
+    coeff_bpp: float
+    outlier_bpp: float
+    n_outliers: int
+    outlier_fraction: float
+    bits_per_outlier: float
+    psnr_db: float
+    max_err: float
+
+
+def q_sweep(
+    data: np.ndarray,
+    idx: int,
+    q_factors: tuple[float, ...] = DEFAULT_Q_FACTORS,
+) -> list[QSweepPoint]:
+    """Sweep the coefficient quantization step at a fixed tolerance."""
+    data = np.asarray(data, dtype=np.float64)
+    rng = float(data.max() - data.min())
+    tolerance = rng / float(2**idx)
+    points: list[QSweepPoint] = []
+    for qf in q_factors:
+        stream, report = compress_chunk(data, PweMode(tolerance, q_factor=qf))
+        recon = decompress_chunk(stream, rank=data.ndim)
+        err = float(np.abs(recon - data).max())
+        points.append(
+            QSweepPoint(
+                q_factor=qf,
+                tolerance=tolerance,
+                total_bpp=report.bpp,
+                coeff_bpp=report.speck_bpp,
+                outlier_bpp=report.outlier_bpp,
+                n_outliers=report.n_outliers,
+                outlier_fraction=report.outlier_fraction,
+                bits_per_outlier=report.bits_per_outlier,
+                psnr_db=psnr(data, recon),
+                max_err=err,
+            )
+        )
+    return points

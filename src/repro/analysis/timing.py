@@ -1,0 +1,64 @@
+"""Timing studies: the Fig. 6 stage breakdown and Fig. 10 runtime grid."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compressors.base import Compressor, PsnrMode, psnr_target_for_idx
+from ..core.modes import PweMode
+from ..core.pipeline import compress_chunk
+
+__all__ = ["StageBreakdown", "time_breakdown", "runtime_point"]
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Serial per-stage compression time for one tolerance level (Fig. 6)."""
+
+    idx: int
+    transform: float
+    speck: float
+    locate: float
+    outlier_code: float
+
+    @property
+    def total(self) -> float:
+        return self.transform + self.speck + self.locate + self.outlier_code
+
+
+def time_breakdown(data: np.ndarray, idx_values: list[int]) -> list[StageBreakdown]:
+    """Measure the four pipeline stages at each tolerance level."""
+    data = np.asarray(data, dtype=np.float64)
+    rng = float(data.max() - data.min())
+    out: list[StageBreakdown] = []
+    for idx in idx_values:
+        _, report = compress_chunk(data, PweMode(rng / float(2**idx)))
+        t = report.timings
+        out.append(
+            StageBreakdown(
+                idx=idx,
+                transform=t["transform"],
+                speck=t["speck"],
+                locate=t["locate"],
+                outlier_code=t["outlier_code"],
+            )
+        )
+    return out
+
+
+def runtime_point(
+    compressor: Compressor, data: np.ndarray, idx: int
+) -> float:
+    """Wall-clock compression time for one (compressor, field, idx) cell
+    of the Fig. 10 grid."""
+    rng = float(data.max() - data.min())
+    if PsnrMode in compressor.supported_modes:
+        mode = PsnrMode(psnr_target_for_idx(max(1, idx)))
+    else:
+        mode = PweMode(rng / float(2**idx))
+    t0 = time.perf_counter()
+    compressor.compress(data, mode)
+    return time.perf_counter() - t0

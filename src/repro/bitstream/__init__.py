@@ -1,0 +1,15 @@
+"""Bit-level I/O: batched bit writer/reader and SPERR stream headers."""
+
+from .header import HEADER_SIZE, MAGIC, VERSION, ChunkHeader, ChunkParams
+from .reader import BitReader
+from .writer import BitWriter
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "ChunkHeader",
+    "ChunkParams",
+    "HEADER_SIZE",
+    "MAGIC",
+    "VERSION",
+]

@@ -1,0 +1,154 @@
+"""Stream and container headers.
+
+The paper (Sec. V-A) states that SPERR uses a fixed 20-byte header per
+stream; that cost is included in every bitrate we report.  We mirror this
+with :class:`ChunkHeader`, a packed 20-byte record placed at the front of
+every per-chunk stream.  Floating-point codec parameters that do not fit
+in 20 bytes (quantization step ``q``, tolerance ``t``) travel in the
+variable-size :class:`ChunkParams` record immediately after, exactly as
+real SPERR carries its "conditioner" block.
+
+The multi-chunk *container* format used by :func:`repro.compress` is
+described in :mod:`repro.core.container`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import StreamFormatError
+
+__all__ = ["ChunkHeader", "ChunkParams", "HEADER_SIZE", "MAGIC", "VERSION"]
+
+MAGIC = b"SP"
+VERSION = 1
+
+#: Fixed header size in bytes, matching the paper's stated 20-byte header.
+HEADER_SIZE = 20
+
+_HEADER_FMT = "<2sBBIIII"  # magic, version, flags, nx, ny, nz, speck_nbytes
+assert struct.calcsize(_HEADER_FMT) == HEADER_SIZE
+
+_FLAG_DOUBLE = 1 << 0
+_FLAG_PWE_MODE = 1 << 1
+_FLAG_HAS_OUTLIERS = 1 << 2
+_FLAG_LOSSLESS = 1 << 3
+
+
+@dataclass(frozen=True)
+class ChunkHeader:
+    """Fixed 20-byte header for one compressed chunk.
+
+    Attributes
+    ----------
+    shape:
+        Chunk dimensions ``(nx, ny, nz)``; trailing dimensions of size 1
+        encode lower-dimensional inputs (a 2-D slice has ``nz == 1``).
+    speck_nbytes:
+        Byte length of the SPECK coefficient section that follows the
+        parameter block.
+    is_double / pwe_mode / has_outliers / lossless:
+        Format flags (input precision, termination criterion, whether an
+        outlier-correction section is present, whether the payload went
+        through the lossless backend).
+    """
+
+    shape: tuple[int, int, int]
+    speck_nbytes: int
+    is_double: bool = False
+    pwe_mode: bool = True
+    has_outliers: bool = False
+    lossless: bool = False
+
+    def pack(self) -> bytes:
+        """Serialize to exactly :data:`HEADER_SIZE` bytes."""
+        flags = (
+            (_FLAG_DOUBLE if self.is_double else 0)
+            | (_FLAG_PWE_MODE if self.pwe_mode else 0)
+            | (_FLAG_HAS_OUTLIERS if self.has_outliers else 0)
+            | (_FLAG_LOSSLESS if self.lossless else 0)
+        )
+        nx, ny, nz = self.shape
+        return struct.pack(_HEADER_FMT, MAGIC, VERSION, flags, nx, ny, nz, self.speck_nbytes)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ChunkHeader":
+        """Parse a header from the first :data:`HEADER_SIZE` bytes of ``data``."""
+        if len(data) < HEADER_SIZE:
+            raise StreamFormatError(
+                f"stream too short for header: {len(data)} < {HEADER_SIZE} bytes"
+            )
+        magic, version, flags, nx, ny, nz, speck_nbytes = struct.unpack(
+            _HEADER_FMT, data[:HEADER_SIZE]
+        )
+        if magic != MAGIC:
+            raise StreamFormatError(f"bad magic {magic!r}; not a SPERR stream")
+        if version != VERSION:
+            raise StreamFormatError(f"unsupported stream version {version}")
+        return cls(
+            shape=(nx, ny, nz),
+            speck_nbytes=speck_nbytes,
+            is_double=bool(flags & _FLAG_DOUBLE),
+            pwe_mode=bool(flags & _FLAG_PWE_MODE),
+            has_outliers=bool(flags & _FLAG_HAS_OUTLIERS),
+            lossless=bool(flags & _FLAG_LOSSLESS),
+        )
+
+
+_PARAMS_FMT = "<ddQQQBB"  # q, tolerance, speck_nbits, outlier_nbits, outlier_nbytes, wavelet_id, levels
+
+#: wavelet name <-> stream id mapping
+WAVELET_IDS = {"cdf97": 0, "cdf53": 1, "haar": 2}
+WAVELET_NAMES = {v: k for k, v in WAVELET_IDS.items()}
+
+#: sentinel for "levels chosen by the paper's rule"
+LEVELS_AUTO = 255
+
+
+@dataclass(frozen=True)
+class ChunkParams:
+    """Variable ("conditioner") parameter block following the fixed header."""
+
+    q: float
+    tolerance: float
+    speck_nbits: int
+    outlier_nbits: int
+    outlier_nbytes: int
+    wavelet: str = "cdf97"
+    levels: int | None = None
+
+    SIZE = struct.calcsize(_PARAMS_FMT)
+
+    def pack(self) -> bytes:
+        """Serialize to exactly :attr:`SIZE` bytes."""
+        return struct.pack(
+            _PARAMS_FMT,
+            self.q,
+            self.tolerance,
+            self.speck_nbits,
+            self.outlier_nbits,
+            self.outlier_nbytes,
+            WAVELET_IDS[self.wavelet],
+            LEVELS_AUTO if self.levels is None else self.levels,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ChunkParams":
+        """Parse the parameter block from the first :attr:`SIZE` bytes."""
+        if len(data) < cls.SIZE:
+            raise StreamFormatError("stream too short for parameter block")
+        q, tol, nbits, onbits, onbytes, wid, levels = struct.unpack(
+            _PARAMS_FMT, data[: cls.SIZE]
+        )
+        if wid not in WAVELET_NAMES:
+            raise StreamFormatError(f"unknown wavelet id {wid}")
+        return cls(
+            q=q,
+            tolerance=tol,
+            speck_nbits=nbits,
+            outlier_nbits=onbits,
+            outlier_nbytes=onbytes,
+            wavelet=WAVELET_NAMES[wid],
+            levels=None if levels == LEVELS_AUTO else levels,
+        )

@@ -1,0 +1,98 @@
+"""Batched bit-oriented input stream, the mirror of :class:`BitWriter`.
+
+Decoding a SPECK stream consumes bits in the same deterministic batch
+order the encoder produced them, so the reader exposes a vectorized
+``read_bits(n)`` returning a boolean array view.  Exhaustion is a normal
+event for embedded streams (any prefix is decodable): ``read_bits`` returns
+however many bits remain and the caller checks :attr:`exhausted`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidArgumentError, StreamFormatError
+
+__all__ = ["BitReader"]
+
+
+class BitReader:
+    """Sequential reader over a packed bit buffer (MSB-first per byte)."""
+
+    def __init__(self, data: bytes | bytearray | np.ndarray, nbits: int | None = None) -> None:
+        buf = np.frombuffer(bytes(data), dtype=np.uint8) if not isinstance(data, np.ndarray) else data
+        if buf.dtype == np.bool_:
+            self._bits = buf
+        else:
+            self._bits = np.unpackbits(buf.astype(np.uint8, copy=False)).astype(np.bool_)
+        if nbits is not None:
+            if nbits > self._bits.size:
+                raise StreamFormatError(
+                    f"declared {nbits} bits but buffer holds only {self._bits.size}"
+                )
+            self._bits = self._bits[:nbits]
+        self._pos = 0
+
+    @property
+    def pos(self) -> int:
+        """Number of bits consumed so far."""
+        return self._pos
+
+    @property
+    def nbits(self) -> int:
+        """Total number of bits in the stream."""
+        return self._bits.size
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return self._bits.size - self._pos
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every bit has been consumed."""
+        return self._pos >= self._bits.size
+
+    def seek(self, pos: int) -> None:
+        """Reposition the cursor (used by codecs that re-read a block header)."""
+        if pos < 0 or pos > self._bits.size:
+            raise InvalidArgumentError(f"seek position {pos} out of range")
+        self._pos = pos
+
+    def read_bit(self) -> bool:
+        """Read one bit; raises :class:`StreamFormatError` past the end."""
+        if self._pos >= self._bits.size:
+            raise StreamFormatError("bit stream exhausted")
+        bit = bool(self._bits[self._pos])
+        self._pos += 1
+        return bit
+
+    def read_bits(self, n: int) -> np.ndarray:
+        """Read up to ``n`` bits as a boolean array.
+
+        Returns fewer than ``n`` bits (possibly zero) if the stream runs
+        out — embedded-stream truncation is not an error.  The returned
+        array is a view; callers must not mutate it.
+        """
+        if n < 0:
+            raise InvalidArgumentError("cannot read a negative number of bits")
+        end = min(self._pos + n, self._bits.size)
+        out = self._bits[self._pos:end]
+        self._pos = end
+        return out
+
+    def read_bits_exact(self, n: int) -> np.ndarray:
+        """Read exactly ``n`` bits or raise :class:`StreamFormatError`."""
+        if self.remaining < n:
+            raise StreamFormatError(
+                f"needed {n} bits but only {self.remaining} remain"
+            )
+        return self.read_bits(n)
+
+    def read_uint(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer (MSB first)."""
+        bits = self.read_bits_exact(width)
+        value = 0
+        for b in bits.tolist():
+            value = (value << 1) | int(b)
+        return value

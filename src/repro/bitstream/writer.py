@@ -1,0 +1,102 @@
+"""Batched bit-oriented output stream.
+
+The SPECK and outlier coders emit bits in vectorized batches (one numpy
+boolean array per sorting/refinement step).  :class:`BitWriter` therefore
+accumulates whole boolean arrays and defers packing to a single
+``np.packbits`` call at flush time, which keeps the per-bit Python overhead
+near zero — the central performance requirement for a pure-numpy bitplane
+coder (see DESIGN.md, "Batched set partitioning").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidArgumentError
+
+__all__ = ["BitWriter"]
+
+
+class BitWriter:
+    """Append-only bit buffer with cheap batched appends.
+
+    Bits are stored MSB-first within each byte, matching
+    :class:`~repro.bitstream.reader.BitReader`.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+        self._nbits = 0
+
+    def __len__(self) -> int:
+        """Number of bits written so far."""
+        return self._nbits
+
+    @property
+    def nbits(self) -> int:
+        """Number of bits written so far."""
+        return self._nbits
+
+    @property
+    def nbytes(self) -> int:
+        """Number of bytes the packed stream will occupy (ceil of bits/8)."""
+        return (self._nbits + 7) // 8
+
+    def write_bit(self, bit: int | bool | np.bool_) -> None:
+        """Append a single bit."""
+        self._chunks.append(np.array([bool(bit)], dtype=np.bool_))
+        self._nbits += 1
+
+    def write_bits(self, bits: np.ndarray) -> None:
+        """Append a 1-D boolean array of bits in order.
+
+        The array is not copied unless needed; callers must not mutate it
+        afterwards.
+        """
+        bits = np.asarray(bits)
+        if bits.ndim != 1:
+            raise InvalidArgumentError(f"bits must be 1-D, got shape {bits.shape}")
+        if bits.size == 0:
+            return
+        if bits.dtype != np.bool_:
+            bits = bits.astype(np.bool_)
+        self._chunks.append(bits)
+        self._nbits += bits.size
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Append ``value`` as ``width`` bits, most significant bit first."""
+        if width < 0 or (width < value.bit_length()):
+            raise InvalidArgumentError(
+                f"value {value} does not fit in {width} bits"
+            )
+        if value < 0:
+            raise InvalidArgumentError("write_uint requires a non-negative value")
+        if width == 0:
+            return
+        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+        bits = (np.uint64(value) >> shifts) & np.uint64(1)
+        self.write_bits(bits.astype(np.bool_))
+
+    def as_bool_array(self) -> np.ndarray:
+        """Return all written bits as one boolean array (concatenated copy)."""
+        if not self._chunks:
+            return np.zeros(0, dtype=np.bool_)
+        if len(self._chunks) > 1:
+            merged = np.concatenate(self._chunks)
+            # Re-consolidate so repeated calls stay cheap.
+            self._chunks = [merged]
+        return self._chunks[0]
+
+    def getvalue(self, *, max_bits: int | None = None) -> bytes:
+        """Pack the stream into bytes (MSB-first), zero-padding the tail byte.
+
+        ``max_bits`` truncates the stream — used by size-bounded SPECK
+        termination, where the embedded property guarantees any prefix
+        remains decodable.
+        """
+        bits = self.as_bool_array()
+        if max_bits is not None:
+            if max_bits < 0:
+                raise InvalidArgumentError("max_bits must be non-negative")
+            bits = bits[:max_bits]
+        return np.packbits(bits).tobytes()

@@ -1,0 +1,231 @@
+"""Command-line interface: ``sperr compress|decompress|info``.
+
+Mirrors the ergonomics of the real SPERR command-line tool: an input
+array (``.npy``) is compressed under either a point-wise error tolerance
+(``--pwe`` or the ``--idx`` label of Table I) or a target bitrate
+(``--bpp``), producing a self-contained ``.sperr`` container.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import PweMode, SizeMode, compress, decompress, tolerance_from_idx
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sperr",
+        description="SPERR (pure-Python reproduction): lossy scientific data "
+        "compression with a point-wise error guarantee.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("compress", help="compress a .npy array into a .sperr container")
+    c.add_argument("input", help="input array (.npy, 1-D to 3-D float data)")
+    c.add_argument("output", help="output container path")
+    bound = c.add_mutually_exclusive_group(required=True)
+    bound.add_argument("--pwe", type=float, help="absolute point-wise error tolerance")
+    bound.add_argument(
+        "--idx", type=int, help="tolerance label: t = Range / 2**idx (Table I)"
+    )
+    bound.add_argument("--bpp", type=float, help="target bitrate (bits per point)")
+    c.add_argument("--chunk", type=int, default=None, help="cubic chunk extent")
+    c.add_argument(
+        "--wavelet", default="cdf97", choices=("cdf97", "cdf53", "haar"),
+        help="wavelet filter (default cdf97)",
+    )
+    c.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel workers (threads) for chunked compression",
+    )
+    c.add_argument("--verbose", action="store_true", help="print a cost summary")
+
+    d = sub.add_parser("decompress", help="reconstruct a .npy array from a container")
+    d.add_argument("input", help="input .sperr container")
+    d.add_argument("output", help="output array path (.npy)")
+
+    i = sub.add_parser("info", help="summarize a .sperr container")
+    i.add_argument("input", help="input .sperr container")
+
+    pk = sub.add_parser(
+        "pack", help="compress several .npy snapshots into one time-series archive"
+    )
+    pk.add_argument("inputs", nargs="+", help="input arrays (.npy), one per frame")
+    pk.add_argument("output", help="output archive path")
+    pk_bound = pk.add_mutually_exclusive_group(required=True)
+    pk_bound.add_argument("--pwe", type=float, help="absolute PWE tolerance (all frames)")
+    pk_bound.add_argument(
+        "--idx", type=int, help="per-frame tolerance label: t = Range / 2**idx"
+    )
+    pk.add_argument("--chunk", type=int, default=None, help="cubic chunk extent")
+
+    ex = sub.add_parser("extract", help="decompress one frame of an archive")
+    ex.add_argument("input", help="input time-series archive")
+    ex.add_argument("index", type=int, help="frame index (negative counts from the end)")
+    ex.add_argument("output", help="output array path (.npy)")
+
+    cmp_ = sub.add_parser(
+        "compare",
+        help="run the paper's comparison suite (SPERR vs SZ/ZFP/TTHRESH/MGARD-like) "
+        "on a .npy array",
+    )
+    cmp_.add_argument("input", help="input array (.npy)")
+    cmp_.add_argument(
+        "--idx", type=int, default=16, help="tolerance label: t = Range / 2**idx"
+    )
+    cmp_.add_argument(
+        "--compressors",
+        default="sperr,sz-like,zfp-like,mgard-like",
+        help="comma-separated subset of: sperr, sz-like, zfp-like, tthresh-like, mgard-like",
+    )
+    return parser
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    data = np.load(args.input)
+    if args.bpp is not None:
+        mode: PweMode | SizeMode = SizeMode(bpp=args.bpp)
+    elif args.idx is not None:
+        mode = PweMode(tolerance_from_idx(data, args.idx))
+    else:
+        mode = PweMode(args.pwe)
+    result = compress(
+        data,
+        mode,
+        chunk_shape=args.chunk,
+        wavelet=args.wavelet,
+        executor="thread" if args.workers else "serial",
+        workers=args.workers,
+    )
+    with open(args.output, "wb") as f:
+        f.write(result.payload)
+    if args.verbose:
+        print(f"input:    {data.shape} {data.dtype} ({data.nbytes} bytes)")
+        print(f"output:   {result.nbytes} bytes ({result.bpp:.3f} bpp)")
+        print(f"ratio:    {data.nbytes / result.nbytes:.1f}x")
+        print(f"chunks:   {len(result.reports)}")
+        print(f"outliers: {result.n_outliers}")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as f:
+        payload = f.read()
+    np.save(args.output, decompress(payload))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import struct
+
+    with open(args.input, "rb") as f:
+        payload = f.read()
+    if payload[:8] != b"SPRRPY1\x00":
+        print("not a SPERR container", file=sys.stderr)
+        return 1
+    rank, dtype_code, mode_code, lossless_flag = struct.unpack_from("<BBBB", payload, 8)
+    shape = struct.unpack_from(f"<{rank}Q", payload, 12)
+    (n_chunks,) = struct.unpack_from("<I", payload, 12 + 8 * rank)
+    npoints = int(np.prod(shape))
+    print(f"shape:    {tuple(shape)}")
+    print(f"dtype:    {'float32' if dtype_code == 0 else 'float64'}")
+    print(f"mode:     {'PWE-bounded' if mode_code == 0 else 'size-bounded'}")
+    print(f"chunks:   {n_chunks}")
+    print(f"size:     {len(payload)} bytes ({8.0 * len(payload) / npoints:.3f} bpp)")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis import format_table, rd_point
+    from .compressors import ALL_COMPRESSORS
+
+    data = np.load(args.input)
+    names = [n.strip() for n in args.compressors.split(",") if n.strip()]
+    rows = []
+    for name in names:
+        if name not in ALL_COMPRESSORS:
+            print(
+                f"error: unknown compressor {name!r}; choose from "
+                f"{sorted(ALL_COMPRESSORS)}",
+                file=sys.stderr,
+            )
+            return 1
+        comp = ALL_COMPRESSORS[name]()
+        p = rd_point(comp, data, args.idx)
+        rows.append(
+            [
+                name,
+                f"{p.bpp:.2f}",
+                f"{p.psnr_db:.1f}",
+                f"{p.gain:.2f}",
+                f"{p.max_err:.3e}",
+                "yes" if p.satisfied else "NO",
+                f"{p.compress_seconds:.2f}s",
+            ]
+        )
+    print(f"comparison at idx={args.idx} (t = Range / 2**{args.idx}):\n")
+    print(
+        format_table(
+            ["compressor", "bpp", "PSNR dB", "gain", "max err", "bound ok", "time"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from .core import compress_frames
+
+    frames = [np.load(path) for path in args.inputs]
+    if args.idx is not None:
+        modes = [PweMode(tolerance_from_idx(f, args.idx)) for f in frames]
+    else:
+        modes = [PweMode(args.pwe)] * len(frames)
+    payload, results = compress_frames(frames, modes, chunk_shape=args.chunk)
+    with open(args.output, "wb") as f:
+        f.write(payload)
+    raw = sum(fr.nbytes for fr in frames)
+    print(
+        f"packed {len(frames)} frames: {raw} -> {len(payload)} bytes "
+        f"({raw / len(payload):.1f}x)"
+    )
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    from .core import decompress_frame
+
+    with open(args.input, "rb") as f:
+        payload = f.read()
+    np.save(args.output, decompress_frame(payload, args.index))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "compress":
+            return _cmd_compress(args)
+        if args.command == "decompress":
+            return _cmd_decompress(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "pack":
+            return _cmd_pack(args)
+        if args.command == "extract":
+            return _cmd_extract(args)
+        return _cmd_info(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The five compressors of the paper's comparison study (Sec. VI-A):
+SPERR plus reimplemented SZ3-, ZFP-, TTHRESH-, and MGARD-like baselines."""
+
+from .base import Compressor, Mode, PsnrMode, psnr_target_for_idx
+from .chunked import ChunkedCompressor
+from .mgardlike import MgardLikeCompressor
+from .sperr import SperrCompressor
+from .szlike import SzLikeCompressor
+from .tthreshlike import TthreshLikeCompressor
+from .zfplike import ZfpLikeCompressor
+
+#: Registry used by the analysis harness and CLI.
+ALL_COMPRESSORS = {
+    "sperr": SperrCompressor,
+    "sz-like": SzLikeCompressor,
+    "zfp-like": ZfpLikeCompressor,
+    "tthresh-like": TthreshLikeCompressor,
+    "mgard-like": MgardLikeCompressor,
+}
+
+__all__ = [
+    "ALL_COMPRESSORS",
+    "ChunkedCompressor",
+    "Compressor",
+    "Mode",
+    "PsnrMode",
+    "psnr_target_for_idx",
+    "SperrCompressor",
+    "SzLikeCompressor",
+    "ZfpLikeCompressor",
+    "TthreshLikeCompressor",
+    "MgardLikeCompressor",
+]

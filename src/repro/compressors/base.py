@@ -1,0 +1,64 @@
+"""Common interface for all compressors in the comparison study.
+
+The paper's Sec. VI compares SPERR against SZ3, ZFP, TTHRESH, and MGARD.
+Each reimplemented baseline (and SPERR itself) is wrapped behind this
+interface so the rate-distortion and runtime harnesses in
+:mod:`repro.analysis` can drive them uniformly.
+
+Termination criteria differ per compressor, exactly as in the paper:
+
+* :class:`~repro.core.modes.PweMode` — point-wise error bound
+  (SPERR, SZ-like, ZFP-like, MGARD-like);
+* :class:`~repro.core.modes.SizeMode` — bits-per-point budget
+  (SPERR, ZFP-like);
+* :class:`PsnrMode` — average-error target (TTHRESH-like only; the paper
+  converts idx levels to PSNR targets for TTHRESH via
+  ``PSNR = 20 log10(2) * idx``).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..core.modes import PsnrMode, PweMode, SizeMode
+from ..errors import InvalidArgumentError, UnsupportedModeError
+from ..metrics import GAIN_DB_PER_BIT
+
+__all__ = ["Compressor", "PsnrMode", "Mode", "psnr_target_for_idx"]
+
+Mode = PweMode | SizeMode | PsnrMode
+
+
+def psnr_target_for_idx(idx: int) -> float:
+    """The paper's TTHRESH control mapping: ``PSNR = (20 log10 2) * idx``
+    (Sec. VI-C), i.e. one idx increment halves the RMSE."""
+    if idx <= 0:
+        raise InvalidArgumentError("idx must be positive")
+    return GAIN_DB_PER_BIT * idx
+
+
+class Compressor(abc.ABC):
+    """A lossy scientific-data compressor with self-describing payloads."""
+
+    #: short name used in tables and plots
+    name: str = "base"
+    #: which mode classes :meth:`compress` accepts
+    supported_modes: tuple[type, ...] = ()
+
+    def check_mode(self, mode: Mode) -> None:
+        """Raise :class:`UnsupportedModeError` for modes this codec lacks."""
+        if not isinstance(mode, self.supported_modes):
+            raise UnsupportedModeError(
+                f"{self.name} supports {[m.__name__ for m in self.supported_modes]}, "
+                f"got {type(mode).__name__}"
+            )
+
+    @abc.abstractmethod
+    def compress(self, data: np.ndarray, mode: Mode) -> bytes:
+        """Compress ``data`` under the given termination criterion."""
+
+    @abc.abstractmethod
+    def decompress(self, payload: bytes) -> np.ndarray:
+        """Reconstruct the array from a payload produced by :meth:`compress`."""

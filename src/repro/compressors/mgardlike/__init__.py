@@ -1,0 +1,12 @@
+"""MGARD-like multilevel hierarchical compressor."""
+
+from .hierarchy import decompose, level_schedule, reconstruct
+from .mgard import MgardLikeCompressor, coefficient_levels
+
+__all__ = [
+    "MgardLikeCompressor",
+    "decompose",
+    "reconstruct",
+    "level_schedule",
+    "coefficient_levels",
+]

@@ -1,0 +1,18 @@
+"""SZ3-like prediction-based error-bounded compressor."""
+
+from .codec import QUANT_RADIUS, decode_bins, dequantize_codes, encode_bins, quantize_residuals
+from .interp import InterpStep, coarse_indices, interpolation_schedule, predict
+from .sz3 import SzLikeCompressor
+
+__all__ = [
+    "SzLikeCompressor",
+    "QUANT_RADIUS",
+    "encode_bins",
+    "decode_bins",
+    "quantize_residuals",
+    "dequantize_codes",
+    "InterpStep",
+    "interpolation_schedule",
+    "coarse_indices",
+    "predict",
+]

@@ -1,0 +1,104 @@
+"""Linear-scaling quantization and the quant-bin entropy codec.
+
+This is SZ's error-controlled quantization (Tao et al., IPDPS 2017 —
+reference [6] of the SPERR paper): prediction residuals are quantized to
+integer multiples of ``2t`` so the reconstruction error stays within the
+tolerance ``t``; the integer bin codes are Huffman coded and the result
+goes through the lossless backend (SZ uses ZSTD there).
+
+``encode_bins`` / ``decode_bins`` double as the reproduction of QCAT's
+``compressQuantBins`` tool, which the paper uses to compare SZ's outlier
+coding cost against SPERR's (Fig. 11).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ... import lossless
+from ...errors import InvalidArgumentError, StreamFormatError
+from ...lossless import huffman
+
+__all__ = [
+    "QUANT_RADIUS",
+    "ESCAPE",
+    "quantize_residuals",
+    "dequantize_codes",
+    "encode_bins",
+    "decode_bins",
+]
+
+#: Half-width of the quantization code range (SZ default: 2^15 bins).
+QUANT_RADIUS = 1 << 15
+#: Symbol reserved for unpredictable (out-of-range) values.
+ESCAPE = 0
+
+
+def quantize_residuals(
+    residuals: np.ndarray, tolerance: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize residuals to integer multiples of ``2 * tolerance``.
+
+    Returns ``(codes, escape_mask)``: ``codes[i]`` reconstructs the
+    residual as ``codes[i] * 2t`` with error <= t; positions where the
+    code would leave the representable range are flagged for raw storage.
+    """
+    if tolerance <= 0:
+        raise InvalidArgumentError("tolerance must be positive")
+    codes = np.rint(residuals / (2.0 * tolerance)).astype(np.int64)
+    escape = np.abs(codes) >= QUANT_RADIUS
+    codes[escape] = 0
+    return codes, escape
+
+
+def dequantize_codes(codes: np.ndarray, tolerance: float) -> np.ndarray:
+    """Reconstruct residuals from bin codes."""
+    return codes.astype(np.float64) * (2.0 * tolerance)
+
+
+def encode_bins(codes: np.ndarray, escape_mask: np.ndarray | None = None) -> bytes:
+    """Huffman + lossless coding of quantization bin codes.
+
+    Symbols: 0 is the escape marker, code ``c`` maps to ``c + QUANT_RADIUS``.
+    """
+    codes = np.asarray(codes, dtype=np.int64).reshape(-1)
+    if escape_mask is None:
+        escape_mask = np.zeros(codes.shape, dtype=bool)
+    escape_mask = np.asarray(escape_mask, dtype=bool).reshape(-1)
+    if codes.size != escape_mask.size:
+        raise InvalidArgumentError("codes and escape mask must align")
+    if codes.size and (np.abs(codes).max() >= QUANT_RADIUS):
+        raise InvalidArgumentError("bin code outside representable range")
+    symbols = codes + QUANT_RADIUS
+    symbols[escape_mask] = ESCAPE
+
+    freqs = np.bincount(symbols, minlength=2 * QUANT_RADIUS)
+    code_book = huffman.build_code(freqs)
+    payload, nbits = huffman.encode(symbols, code_book) if symbols.size else (b"", 0)
+    book = huffman.serialize_code(code_book)
+    raw = (
+        struct.pack("<QQI", codes.size, nbits, len(book))
+        + book
+        + payload
+    )
+    return lossless.compress(raw, method="auto")
+
+
+def decode_bins(payload: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`encode_bins`; returns ``(codes, escape_mask)``."""
+    raw = lossless.decompress(payload)
+    if len(raw) < 20:
+        raise StreamFormatError("truncated bin stream")
+    n, nbits, book_len = struct.unpack("<QQI", raw[:20])
+    code_book, consumed = huffman.deserialize_code(raw[20:])
+    if consumed != book_len:
+        raise StreamFormatError("bin stream code book length mismatch")
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+    symbols = huffman.decode(raw[20 + consumed :], int(nbits), int(n), code_book)
+    escape_mask = symbols == ESCAPE
+    codes = symbols - QUANT_RADIUS
+    codes[escape_mask] = 0
+    return codes, escape_mask

@@ -1,0 +1,6 @@
+"""TTHRESH-like Tucker-decomposition compressor (PSNR-targeted)."""
+
+from .tthresh import TthreshLikeCompressor
+from .tucker import hosvd, mode_product, tucker_reconstruct
+
+__all__ = ["TthreshLikeCompressor", "hosvd", "tucker_reconstruct", "mode_product"]

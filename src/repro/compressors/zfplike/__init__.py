@@ -1,0 +1,23 @@
+"""ZFP-like fixed-rate / fixed-accuracy block transform compressor."""
+
+from .transform import (
+    PRECISION,
+    block_exponents,
+    from_negabinary,
+    fwd_lift,
+    inv_lift,
+    permutation,
+    to_negabinary,
+)
+from .zfp import ZfpLikeCompressor
+
+__all__ = [
+    "ZfpLikeCompressor",
+    "PRECISION",
+    "fwd_lift",
+    "inv_lift",
+    "permutation",
+    "to_negabinary",
+    "from_negabinary",
+    "block_exponents",
+]

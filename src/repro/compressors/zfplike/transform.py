@@ -1,0 +1,150 @@
+"""ZFP's block decorrelating transform and supporting conversions.
+
+ZFP (Lindstrom, TVCG 2014 — reference [8] of the SPERR paper) partitions
+the input into 4^d blocks, aligns each block to a common exponent,
+applies a custom integer lifted transform (a cheap approximation of the
+DCT), reorders coefficients by total sequency, converts to negabinary,
+and codes bitplanes with per-plane group testing.
+
+This module implements the numeric pieces, all vectorized across blocks
+(the length-4 axes are unrolled, everything else broadcasts); the
+bit-level codec lives in :mod:`repro.compressors.zfplike.zfp`.  The
+lifting steps are transcribed from zfp's ``fwd_lift`` / ``inv_lift`` and
+are exactly invertible on int64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import InvalidArgumentError
+
+__all__ = [
+    "fwd_lift",
+    "inv_lift",
+    "permutation",
+    "to_negabinary",
+    "from_negabinary",
+    "block_exponents",
+    "PRECISION",
+]
+
+#: Integer precision of the block-floating-point representation (bits).
+PRECISION = 64
+
+_NBMASK = np.uint64(0xAAAAAAAAAAAAAAAA)
+
+
+def _rows(blocks: np.ndarray, axis: int) -> list[np.ndarray]:
+    """Copies of the four length-4 slices along ``axis``."""
+    sl: list[slice | int] = [slice(None)] * blocks.ndim
+    out = []
+    for i in range(4):
+        s = list(sl)
+        s[axis] = i
+        out.append(blocks[tuple(s)].copy())
+    return out
+
+
+def _store(blocks: np.ndarray, axis: int, rows: list[np.ndarray]) -> None:
+    for i, v in enumerate(rows):
+        s: list[slice | int] = [slice(None)] * blocks.ndim
+        s[axis] = i
+        blocks[tuple(s)] = v
+
+
+def _fwd_lift_axis(blocks: np.ndarray, axis: int) -> None:
+    #        ( 4  4  4  4) (x)
+    # 1/16 * ( 5  1 -1 -5) (y)
+    #        (-4  4  4 -4) (z)
+    #        (-2  6 -6  2) (w)
+    x, y, z, w = _rows(blocks, axis)
+    x += w
+    x >>= 1
+    w -= x
+    z += y
+    z >>= 1
+    y -= z
+    x += z
+    x >>= 1
+    z -= x
+    w += y
+    w >>= 1
+    y -= w
+    w += y >> 1
+    y -= w >> 1
+    _store(blocks, axis, [x, y, z, w])
+
+
+def _inv_lift_axis(blocks: np.ndarray, axis: int) -> None:
+    #       ( 4  6 -4 -1) (x)
+    # 1/4 * ( 4  2  4  5) (y)
+    #       ( 4 -2  4 -5) (z)
+    #       ( 4 -6 -4  1) (w)
+    x, y, z, w = _rows(blocks, axis)
+    y += w >> 1
+    w -= y >> 1
+    y += w
+    w <<= 1
+    w -= y
+    z += x
+    x <<= 1
+    x -= z
+    y += z
+    z <<= 1
+    z -= y
+    w += x
+    x <<= 1
+    x -= w
+    _store(blocks, axis, [x, y, z, w])
+
+
+def fwd_lift(blocks: np.ndarray) -> None:
+    """Forward transform of all blocks in place (int64, shape (n, 4[,4[,4]]))."""
+    if blocks.dtype != np.int64:
+        raise InvalidArgumentError("lifting operates on int64 blocks")
+    for axis in range(1, blocks.ndim):
+        _fwd_lift_axis(blocks, axis)
+
+
+def inv_lift(blocks: np.ndarray) -> None:
+    """Inverse transform of all blocks in place (exact inverse of fwd_lift)."""
+    if blocks.dtype != np.int64:
+        raise InvalidArgumentError("lifting operates on int64 blocks")
+    for axis in range(blocks.ndim - 1, 0, -1):
+        _inv_lift_axis(blocks, axis)
+
+
+def permutation(ndim: int) -> np.ndarray:
+    """Coefficient scan order: ascending total sequency (zfp's PERM).
+
+    Ties are broken lexicographically — a deterministic stand-in for
+    zfp's hand-rolled order with the same energy-ranking effect.
+    """
+    if ndim < 1 or ndim > 3:
+        raise InvalidArgumentError("ndim must be 1, 2, or 3")
+    coords = np.indices((4,) * ndim).reshape(ndim, -1).T
+    keys = [tuple(c) for c in coords]
+    order = sorted(range(len(keys)), key=lambda i: (sum(keys[i]), keys[i]))
+    return np.asarray(order, dtype=np.int64)
+
+
+def to_negabinary(i: np.ndarray) -> np.ndarray:
+    """Two's-complement int64 -> negabinary uint64 (sign-free)."""
+    u = i.astype(np.uint64)
+    return (u + _NBMASK) ^ _NBMASK
+
+
+def from_negabinary(u: np.ndarray) -> np.ndarray:
+    """Negabinary uint64 -> int64."""
+    return ((u ^ _NBMASK) - _NBMASK).astype(np.int64)
+
+
+def block_exponents(maxabs: np.ndarray) -> np.ndarray:
+    """Per-block common exponent e with ``maxabs < 2**e`` (0 for empty blocks)."""
+    e = np.zeros(maxabs.shape, dtype=np.int64)
+    nz = maxabs > 0
+    if nz.any():
+        _, exp = np.frexp(maxabs[nz])
+        e[nz] = exp
+    return e

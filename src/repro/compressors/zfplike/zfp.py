@@ -1,0 +1,335 @@
+"""The ZFP-like compressor: 4^d block transform coding.
+
+Modes:
+
+* :class:`~repro.core.modes.SizeMode` — fixed rate: every block gets
+  exactly ``rate * 4**d`` bits (zfp's flagship mode, Sec. III-B of the
+  SPERR paper notes both share this ability);
+* :class:`~repro.core.modes.PweMode` — fixed accuracy: bitplanes whose
+  contribution falls below the tolerance are dropped.  Like real zfp,
+  the bound is enforced with a conservative per-dimension guard factor.
+
+Per block: common exponent → block floating point (int64) → lifted
+decorrelating transform → total-sequency reorder → negabinary →
+bitplane coding with zfp's group-testing loop.  The numeric stages are
+vectorized across blocks; the bit loop is per block (the price of a
+pure-Python reproduction, noted in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ...bitstream import BitReader, BitWriter
+from ...core.modes import PweMode, SizeMode
+from ...errors import InvalidArgumentError, StreamFormatError
+from ..base import Compressor, Mode
+from .transform import (
+    PRECISION,
+    block_exponents,
+    from_negabinary,
+    fwd_lift,
+    inv_lift,
+    permutation,
+    to_negabinary,
+)
+
+__all__ = ["ZfpLikeCompressor"]
+
+_MAGIC = b"ZFPL"
+_EXP_BITS = 12
+_EXP_BIAS = 2048
+#: block-float scaling exponent: ints are x * 2**(_SCALE_EXP - e), leaving
+#: headroom for transform growth and the extra negabinary bit below the
+#: top coded plane (PRECISION - 2)
+_SCALE_EXP = PRECISION - 6
+#: guard bits per dimension when deriving the accuracy-mode plane cutoff
+_ACCURACY_GUARD = 2
+
+
+def _blockify(data: np.ndarray) -> tuple[np.ndarray, tuple[int, ...], tuple[int, ...]]:
+    """Pad to multiples of 4 (edge-replicated) and gather 4^d blocks."""
+    shape = data.shape
+    padded_shape = tuple(-(-n // 4) * 4 for n in shape)
+    pad = [(0, p - n) for n, p in zip(shape, padded_shape)]
+    padded = np.pad(data, pad, mode="edge")
+    nd = data.ndim
+    grid = tuple(p // 4 for p in padded_shape)
+    view = padded.reshape(
+        tuple(v for n in grid for v in (n, 4))
+    )
+    axes = tuple(range(0, 2 * nd, 2)) + tuple(range(1, 2 * nd, 2))
+    blocks = view.transpose(axes).reshape((-1,) + (4,) * nd)
+    return np.ascontiguousarray(blocks), padded_shape, grid
+
+
+def _unblockify(
+    blocks: np.ndarray, shape: tuple[int, ...], padded_shape: tuple[int, ...], grid: tuple[int, ...]
+) -> np.ndarray:
+    nd = len(shape)
+    view = blocks.reshape(grid + (4,) * nd)
+    axes_fwd = tuple(range(0, 2 * nd, 2)) + tuple(range(1, 2 * nd, 2))
+    inv_axes = np.argsort(axes_fwd)
+    padded = view.transpose(tuple(inv_axes)).reshape(padded_shape)
+    return padded[tuple(slice(0, n) for n in shape)]
+
+
+def _encode_block(
+    writer: BitWriter,
+    u: np.ndarray,
+    e: int,
+    nonzero: bool,
+    kmin: int,
+    max_bits: int | None,
+) -> None:
+    """zfp's per-block embedded coding (group testing per bitplane)."""
+    start = writer.nbits
+    writer.write_bit(nonzero)
+    if not nonzero:
+        if max_bits is not None:
+            pad = max_bits - (writer.nbits - start)
+            if pad > 0:
+                writer.write_bits(np.zeros(pad, dtype=np.bool_))
+        return
+    writer.write_uint(e + _EXP_BIAS, _EXP_BITS)
+    size = u.size
+    vals = [int(v) for v in u.tolist()]
+    n = 0
+    bits: list[int] = []
+    budget = None if max_bits is None else max_bits - (writer.nbits - start)
+    for k in range(PRECISION - 2, kmin - 1, -1):
+        x = 0
+        for i in range(size):
+            x |= ((vals[i] >> k) & 1) << i
+        # verbatim bits for already-significant coefficients
+        for i in range(n):
+            bits.append((x >> i) & 1)
+        x >>= n
+        m = n
+        while m < size:
+            b = 1 if x else 0
+            bits.append(b)
+            if not b:
+                break
+            while m < size - 1:
+                bit = x & 1
+                bits.append(bit)
+                if bit:
+                    break
+                x >>= 1
+                m += 1
+            x >>= 1
+            m += 1
+        n = m if m > n else n
+        if budget is not None and len(bits) >= budget:
+            break
+    if budget is not None:
+        bits = bits[:budget]
+        if len(bits) < budget:
+            bits.extend([0] * (budget - len(bits)))
+    writer.write_bits(np.asarray(bits, dtype=np.bool_))
+
+
+def _decode_block(
+    reader: BitReader, size: int, kmin: int, max_bits: int | None
+) -> tuple[np.ndarray, int, bool]:
+    """Mirror of :func:`_encode_block`; returns (negabinary values, e, nonzero)."""
+    start = reader.pos
+    if reader.remaining < 1:
+        raise StreamFormatError("zfp stream exhausted at block start")
+    nonzero = reader.read_bit()
+    if not nonzero:
+        if max_bits is not None:
+            reader.read_bits(max(0, max_bits - (reader.pos - start)))
+        return np.zeros(size, dtype=np.uint64), 0, False
+    e = reader.read_uint(_EXP_BITS) - _EXP_BIAS
+    vals = [0] * size
+    n = 0
+    budget = None if max_bits is None else max_bits - (reader.pos - start)
+    used = 0
+
+    def take() -> int | None:
+        nonlocal used
+        if budget is not None and used >= budget:
+            return None
+        if reader.remaining < 1:
+            return None
+        used += 1
+        return 1 if reader.read_bit() else 0
+
+    stop = False
+    for k in range(PRECISION - 2, kmin - 1, -1):
+        if stop:
+            break
+        # verbatim bits for already-significant coefficients
+        for i in range(n):
+            b = take()
+            if b is None:
+                stop = True
+                break
+            if b:
+                vals[i] |= 1 << k
+        if stop:
+            break
+        m = n
+        while m < size:
+            b = take()  # group bit: "is there another 1 at or beyond m?"
+            if b is None:
+                stop = True
+                break
+            if not b:
+                break
+            # scan explicit zeros up to the next 1; if the scan reaches the
+            # final coefficient, its 1 is implicit (the group bit proved it)
+            found = False
+            while m < size - 1:
+                bit = take()
+                if bit is None:
+                    stop = True
+                    break
+                if bit:
+                    found = True
+                    break
+                m += 1
+            if stop:
+                break
+            vals[m] |= 1 << k  # explicit 1 at m, or implicit 1 at size-1
+            m += 1
+        if stop:
+            break
+        n = m if m > n else n
+    if budget is not None and used < budget:
+        reader.read_bits(budget - used)
+    return np.asarray(vals, dtype=np.uint64), e, True
+
+
+class ZfpLikeCompressor(Compressor):
+    """Fixed-rate / fixed-accuracy block transform compressor (zfp-style)."""
+
+    name = "zfp-like"
+    supported_modes = (PweMode, SizeMode)
+
+    def compress(self, data: np.ndarray, mode: Mode) -> bytes:
+        """Block-transform and bitplane-code under a rate or accuracy bound."""
+        self.check_mode(mode)
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim < 1 or data.ndim > 3:
+            raise InvalidArgumentError("zfp-like supports 1-D to 3-D arrays")
+        if not np.all(np.isfinite(data)):
+            raise InvalidArgumentError("input contains NaN or Inf")
+        nd = data.ndim
+        blocks, padded_shape, grid = _blockify(data)
+        nb = blocks.shape[0]
+        flat = blocks.reshape(nb, -1)
+        maxabs = np.abs(flat).max(axis=1)
+        exps = block_exponents(maxabs)
+        nonzero = maxabs > 0
+
+        scale = np.exp2((_SCALE_EXP - exps).astype(np.float64))
+        ints = np.rint(flat * scale[:, None]).astype(np.int64)
+        iblocks = ints.reshape(blocks.shape)
+        fwd_lift(iblocks)
+        perm = permutation(nd)
+        coeffs = iblocks.reshape(nb, -1)[:, perm]
+        u = to_negabinary(coeffs)
+
+        if isinstance(mode, SizeMode):
+            block_bits = max(8, int(round(mode.bpp * 4**nd)))
+            kmins = np.zeros(nb, dtype=np.int64)
+            max_bits: int | None = block_bits
+            tol = 0.0
+        else:
+            tol = mode.tolerance
+            # bitplane k of the block's ints represents magnitude
+            # 2^(k + e + 2 - PRECISION); drop planes below tolerance with
+            # a 2^(ndim * guard) safety factor for transform error growth.
+            guard = nd * _ACCURACY_GUARD
+            kmins = np.maximum(
+                0,
+                np.floor(np.log2(tol)).astype(np.int64) + _SCALE_EXP - exps - guard,
+            )
+            max_bits = None
+            block_bits = 0
+
+        writer = BitWriter()
+        for b in range(nb):
+            _encode_block(
+                writer,
+                u[b],
+                int(exps[b]),
+                bool(nonzero[b]),
+                int(kmins[b]),
+                max_bits,
+            )
+        payload = writer.getvalue()
+        head = _MAGIC + struct.pack(
+            "<BBdQ", nd, 0 if isinstance(mode, SizeMode) else 1,
+            mode.bpp if isinstance(mode, SizeMode) else tol,
+            writer.nbits,
+        )
+        head += struct.pack(f"<{nd}Q", *data.shape)
+        head += struct.pack("<I", block_bits)
+        return head + payload
+
+    def decompress(self, payload: bytes) -> np.ndarray:
+        """Decode blocks, invert the transform, crop the padding."""
+        if payload[:4] != _MAGIC:
+            raise StreamFormatError("not a zfp-like payload")
+        pos = 4
+        nd, mode_code, param, nbits = struct.unpack_from("<BBdQ", payload, pos)
+        pos += struct.calcsize("<BBdQ")
+        shape = struct.unpack_from(f"<{nd}Q", payload, pos)
+        pos += 8 * nd
+        (block_bits,) = struct.unpack_from("<I", payload, pos)
+        pos += 4
+        shape = tuple(int(s) for s in shape)
+
+        padded_shape = tuple(-(-n // 4) * 4 for n in shape)
+        grid = tuple(p // 4 for p in padded_shape)
+        nb = int(np.prod(grid))
+        size = 4**nd
+        reader = BitReader(payload[pos:], nbits=int(nbits))
+        max_bits = block_bits if mode_code == 0 else None
+
+        u = np.zeros((nb, size), dtype=np.uint64)
+        exps = np.zeros(nb, dtype=np.int64)
+        nonzero = np.zeros(nb, dtype=bool)
+        for b in range(nb):
+            if mode_code == 1:
+                # fixed-accuracy: recompute the encoder's kmin per block
+                # after reading the exponent; peek by decoding with kmin=0
+                # is wrong, so replicate the formula inline.
+                start = reader.pos
+                if reader.remaining < 1:
+                    raise StreamFormatError("zfp stream exhausted")
+                nz = reader.read_bit()
+                if not nz:
+                    continue
+                e = reader.read_uint(_EXP_BITS) - _EXP_BIAS
+                guard = nd * _ACCURACY_GUARD
+                kmin = max(
+                    0,
+                    int(np.floor(np.log2(param))) + _SCALE_EXP - e - guard,
+                )
+                # rewind to block start and decode normally
+                reader.seek(start)
+                vals, e2, nz2 = _decode_block(reader, size, kmin, None)
+            else:
+                vals, e2, nz2 = _decode_block(reader, size, 0, max_bits)
+            u[b] = vals
+            exps[b] = e2
+            nonzero[b] = nz2
+
+        perm = permutation(nd)
+        inv_perm = np.argsort(perm)
+        coeffs = from_negabinary(u)[:, inv_perm]
+        iblocks = coeffs.reshape((nb,) + (4,) * nd).copy()
+        inv_lift(iblocks)
+        flat = iblocks.reshape(nb, -1).astype(np.float64)
+        scale = np.exp2((exps - _SCALE_EXP).astype(np.float64))
+        flat *= scale[:, None]
+        flat[~nonzero] = 0.0
+        out = _unblockify(flat.reshape((nb,) + (4,) * nd), shape, padded_shape, grid)
+        return out

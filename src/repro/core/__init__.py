@@ -1,0 +1,39 @@
+"""SPERR core: modes, chunking, per-chunk pipeline, parallel executor,
+and the container-level compress/decompress API."""
+
+from .chunking import DEFAULT_CHUNK, Chunk, assemble, plan_chunks, split
+from .container import CompressionResult, compress, decompress
+from .modes import Q_FACTOR, PsnrMode, PweMode, SizeMode, data_range, tolerance_from_idx
+from .parallel import EXECUTORS, chunk_map, default_workers
+from .progressive import decompress_multires, truncate
+from .timeseries import compress_frames, decompress_frame, decompress_frames, frame_count
+from .pipeline import ChunkReport, compress_chunk, decompress_chunk
+
+__all__ = [
+    "Chunk",
+    "ChunkReport",
+    "CompressionResult",
+    "DEFAULT_CHUNK",
+    "EXECUTORS",
+    "PweMode",
+    "PsnrMode",
+    "Q_FACTOR",
+    "SizeMode",
+    "assemble",
+    "chunk_map",
+    "compress",
+    "compress_chunk",
+    "data_range",
+    "decompress",
+    "decompress_multires",
+    "truncate",
+    "compress_frames",
+    "decompress_frame",
+    "decompress_frames",
+    "frame_count",
+    "decompress_chunk",
+    "default_workers",
+    "plan_chunks",
+    "split",
+    "tolerance_from_idx",
+]

@@ -1,0 +1,113 @@
+"""Volume chunking for embarrassingly parallel compression.
+
+Paper Sec. III-D: a large volume is divided into smaller chunks, each
+compressed independently; the per-chunk bitstreams are concatenated.  The
+chunk dimension need not divide the volume dimension nor be a power of
+two; SPERR's default chunk size is 256³ (we default lower because this
+reproduction operates at laptop-scale volumes).
+
+Like real SPERR, trailing remainders are merged into the preceding chunk
+when they are small (under half a chunk), which avoids slivers whose
+wavelet decomposition would be shallow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidArgumentError
+
+__all__ = ["Chunk", "plan_chunks", "split", "assemble", "DEFAULT_CHUNK"]
+
+#: Default per-axis chunk extent.
+DEFAULT_CHUNK = 64
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One tile of the volume: per-axis ``(start, stop)`` slices."""
+
+    bounds: tuple[tuple[int, int], ...]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(b - a for a, b in self.bounds)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape))
+
+    def slices(self) -> tuple[slice, ...]:
+        """Index expression selecting this chunk from the full volume."""
+        return tuple(slice(a, b) for a, b in self.bounds)
+
+
+def _axis_cuts(n: int, c: int) -> list[tuple[int, int]]:
+    """Cut one axis of length ``n`` into runs of roughly ``c``.
+
+    Remainders shorter than ``c // 2`` are merged into the final run.
+    """
+    if c <= 0:
+        raise InvalidArgumentError("chunk extent must be positive")
+    if n <= 0:
+        raise InvalidArgumentError("axis length must be positive")
+    cuts = list(range(0, n, c))
+    bounds = [(s, min(s + c, n)) for s in cuts]
+    if len(bounds) > 1 and (bounds[-1][1] - bounds[-1][0]) < max(1, c // 2):
+        last = bounds.pop()
+        prev = bounds.pop()
+        bounds.append((prev[0], last[1]))
+    return bounds
+
+
+def plan_chunks(
+    shape: tuple[int, ...], chunk_shape: int | tuple[int, ...] | None
+) -> list[Chunk]:
+    """Plan the chunk grid; ``None`` keeps the volume as one chunk."""
+    if chunk_shape is None:
+        return [Chunk(bounds=tuple((0, n) for n in shape))]
+    if np.isscalar(chunk_shape):
+        chunk_shape = tuple(int(chunk_shape) for _ in shape)
+    if len(chunk_shape) != len(shape):
+        raise InvalidArgumentError(
+            f"chunk shape {chunk_shape} does not match volume rank {len(shape)}"
+        )
+    per_axis = [_axis_cuts(n, c) for n, c in zip(shape, chunk_shape)]
+    chunks: list[Chunk] = []
+    # C-order nesting keeps chunk order deterministic and cache-friendly.
+    def rec(axis: int, acc: list[tuple[int, int]]) -> None:
+        if axis == len(per_axis):
+            chunks.append(Chunk(bounds=tuple(acc)))
+            return
+        for b in per_axis[axis]:
+            rec(axis + 1, acc + [b])
+
+    rec(0, [])
+    return chunks
+
+
+def split(data: np.ndarray, chunks: list[Chunk]) -> list[np.ndarray]:
+    """Extract chunk arrays (contiguous copies, ready for the pipeline)."""
+    return [np.ascontiguousarray(data[c.slices()]) for c in chunks]
+
+
+def assemble(
+    shape: tuple[int, ...], chunks: list[Chunk], parts: list[np.ndarray]
+) -> np.ndarray:
+    """Stitch decompressed chunk arrays back into one volume."""
+    if len(chunks) != len(parts):
+        raise InvalidArgumentError("chunk plan and part count differ")
+    out = np.empty(shape, dtype=np.float64)
+    filled = 0
+    for chunk, part in zip(chunks, parts):
+        if tuple(part.shape) != chunk.shape:
+            raise InvalidArgumentError(
+                f"part shape {part.shape} does not match chunk {chunk.shape}"
+            )
+        out[chunk.slices()] = part
+        filled += part.size
+    if filled != out.size:
+        raise InvalidArgumentError("chunk plan does not tile the volume")
+    return out

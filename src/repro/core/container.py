@@ -1,0 +1,238 @@
+"""Multi-chunk container format and the top-level compress/decompress.
+
+Layout of a ``.sperr`` container::
+
+    magic "SPRRPY1\\0"                      8 bytes
+    rank                 u8
+    dtype code           u8  (0=float32, 1=float64)
+    mode code            u8  (0=PWE, 1=size)
+    lossless flag        u8
+    global shape         rank * u64
+    n_chunks             u32
+    per-chunk bounds     n_chunks * rank * 2 * u64
+    per-chunk byte size  n_chunks * u64
+    chunk payloads       (each optionally lossless-compressed)
+
+Each chunk payload is the self-contained stream of
+:func:`repro.core.pipeline.compress_chunk`, mirroring real SPERR's
+concatenation of independent per-chunk bitstreams (Sec. III-D).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import lossless
+from ..errors import InvalidArgumentError, StreamFormatError
+from .chunking import Chunk, assemble, plan_chunks, split
+from .modes import PsnrMode, PweMode, SizeMode
+from .parallel import chunk_map
+from .pipeline import ChunkReport, compress_chunk, decompress_chunk
+
+__all__ = [
+    "CompressionResult",
+    "ParsedContainer",
+    "compress",
+    "decompress",
+    "parse_container",
+    "build_container",
+]
+
+_MAGIC = b"SPRRPY1\x00"
+_DTYPES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+_DTYPE_BY_CODE = {v: k for k, v in _DTYPES.items()}
+
+
+@dataclass
+class CompressionResult:
+    """Compressed payload plus accounting from every chunk."""
+
+    payload: bytes
+    reports: list[ChunkReport]
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def npoints(self) -> int:
+        return sum(r.npoints for r in self.reports)
+
+    @property
+    def bpp(self) -> float:
+        """Achieved container bitrate in bits per point."""
+        return 8.0 * self.nbytes / self.npoints
+
+    @property
+    def n_outliers(self) -> int:
+        return sum(r.n_outliers for r in self.reports)
+
+
+def compress(
+    data: np.ndarray,
+    mode: PweMode | SizeMode | PsnrMode,
+    *,
+    chunk_shape: int | tuple[int, ...] | None = None,
+    wavelet: str = "cdf97",
+    levels: int | None = None,
+    lossless_method: str = "auto",
+    executor: str = "serial",
+    workers: int | None = None,
+) -> CompressionResult:
+    """Compress an array into a self-contained SPERR container.
+
+    ``chunk_shape=None`` compresses the volume as a single chunk;
+    an int or tuple tiles it for parallel execution (Sec. III-D).
+    """
+    data = np.asarray(data)
+    if data.dtype not in _DTYPES:
+        if np.issubdtype(data.dtype, np.floating) or np.issubdtype(data.dtype, np.integer):
+            data = data.astype(np.float64)
+        else:
+            raise InvalidArgumentError(f"unsupported dtype {data.dtype}")
+    if data.ndim < 1 or data.ndim > 3:
+        raise InvalidArgumentError("only 1-D, 2-D, and 3-D arrays are supported")
+    if (
+        data.dtype == np.float32
+        and isinstance(mode, PweMode)
+        and data.size
+        and np.isfinite(data.max() - data.min())
+    ):
+        # The reconstruction is rounded back to float32; a tolerance near
+        # or below single-precision ULP of the data cannot survive that
+        # rounding.  Mirrors the paper's idx caps for single-precision
+        # fields (idx <= 25-35, Sec. VI-C).
+        ulp = float(np.max(np.abs(data))) * 2.0**-23
+        if mode.tolerance <= 0.5 * ulp:
+            raise InvalidArgumentError(
+                f"tolerance {mode.tolerance:g} is below float32 precision "
+                f"(~{ulp:g}) for this data; use float64 input or a looser "
+                "tolerance"
+            )
+        # Compress against a tolerance tightened by the worst-case cast
+        # rounding, so the bound holds on the float32 output too.
+        mode = PweMode(mode.tolerance - 0.5 * ulp, q_factor=mode.q_factor)
+
+    chunks = plan_chunks(data.shape, chunk_shape)
+    parts = split(data, chunks)
+
+    def work(part: np.ndarray) -> tuple[bytes, ChunkReport]:
+        return compress_chunk(part, mode, wavelet=wavelet, levels=levels)
+
+    results = chunk_map(work, parts, executor=executor, workers=workers)
+    streams = []
+    reports = []
+    for raw, report in results:
+        packed = lossless.compress(raw, method=lossless_method)
+        report.total_nbytes = len(packed)
+        streams.append(packed)
+        reports.append(report)
+
+    mode_code = 0 if isinstance(mode, PweMode) else (2 if isinstance(mode, PsnrMode) else 1)
+    payload = build_container(
+        data.ndim, np.dtype(data.dtype), mode_code, data.shape, chunks, streams
+    )
+    return CompressionResult(payload=payload, reports=reports)
+
+
+@dataclass(frozen=True)
+class ParsedContainer:
+    """Structural view of a container payload (headers decoded, chunk
+    streams still lossless-compressed)."""
+
+    rank: int
+    dtype: np.dtype
+    mode_code: int
+    shape: tuple[int, ...]
+    chunks: list[Chunk]
+    streams: list[bytes]
+
+
+def parse_container(payload: bytes) -> ParsedContainer:
+    """Decode the container framing without touching chunk payloads."""
+    if payload[:8] != _MAGIC:
+        raise StreamFormatError("not a SPERR container (bad magic)")
+    try:
+        return _parse_container_body(payload)
+    except struct.error as exc:
+        raise StreamFormatError(f"container framing truncated: {exc}") from exc
+
+
+def _parse_container_body(payload: bytes) -> ParsedContainer:
+    pos = 8
+    rank, dtype_code, mode_code, _lossless_flag = struct.unpack_from("<BBBB", payload, pos)
+    pos += 4
+    if rank < 1 or rank > 3:
+        raise StreamFormatError(f"invalid rank {rank}")
+    if dtype_code not in _DTYPE_BY_CODE:
+        raise StreamFormatError(f"invalid dtype code {dtype_code}")
+    shape = struct.unpack_from(f"<{rank}Q", payload, pos)
+    pos += 8 * rank
+    (n_chunks,) = struct.unpack_from("<I", payload, pos)
+    pos += 4
+    chunks = []
+    for _ in range(n_chunks):
+        bounds = []
+        for _ in range(rank):
+            a, b = struct.unpack_from("<QQ", payload, pos)
+            pos += 16
+            bounds.append((a, b))
+        chunks.append(Chunk(bounds=tuple(bounds)))
+    sizes = struct.unpack_from(f"<{n_chunks}Q", payload, pos)
+    pos += 8 * n_chunks
+    streams = []
+    for size in sizes:
+        streams.append(payload[pos : pos + size])
+        pos += size
+        if len(streams[-1]) != size:
+            raise StreamFormatError("container truncated")
+    return ParsedContainer(
+        rank=rank,
+        dtype=_DTYPE_BY_CODE[dtype_code],
+        mode_code=mode_code,
+        shape=tuple(int(s) for s in shape),
+        chunks=chunks,
+        streams=streams,
+    )
+
+
+def build_container(
+    rank: int,
+    dtype: np.dtype,
+    mode_code: int,
+    shape: tuple[int, ...],
+    chunks: list[Chunk],
+    streams: list[bytes],
+) -> bytes:
+    """Assemble a container payload from its parts (inverse of parsing)."""
+    head = bytearray()
+    head += _MAGIC
+    head += struct.pack("<BBBB", rank, _DTYPES[np.dtype(dtype)], mode_code, 1)
+    head += struct.pack(f"<{rank}Q", *shape)
+    head += struct.pack("<I", len(chunks))
+    for chunk in chunks:
+        for a, b in chunk.bounds:
+            head += struct.pack("<QQ", a, b)
+    for s in streams:
+        head += struct.pack("<Q", len(s))
+    return bytes(head) + b"".join(streams)
+
+
+def decompress(
+    payload: bytes,
+    *,
+    executor: str = "serial",
+    workers: int | None = None,
+) -> np.ndarray:
+    """Decompress a container produced by :func:`compress`."""
+    parsed = parse_container(payload)
+
+    def work(stream: bytes) -> np.ndarray:
+        return decompress_chunk(lossless.decompress(stream), rank=parsed.rank)
+
+    parts = chunk_map(work, parsed.streams, executor=executor, workers=workers)
+    out = assemble(parsed.shape, parsed.chunks, parts)
+    return out.astype(parsed.dtype, copy=False)

@@ -1,0 +1,114 @@
+"""Compression modes and tolerance bookkeeping.
+
+SPERR terminates coding on either criterion (paper Sec. I):
+
+* :class:`PweMode` — error-bounded: the reconstruction never deviates
+  from the input by more than the point-wise tolerance ``t``;
+* :class:`SizeMode` — size-bounded: the output reaches a prescribed
+  bitrate (bits per point, BPP) and the embedded stream is truncated.
+
+The paper labels tolerance levels with an integer ``idx`` such that
+``t = Range / 2**idx`` (Table I); :func:`tolerance_from_idx` implements
+that translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidArgumentError
+
+__all__ = [
+    "PweMode",
+    "SizeMode",
+    "PsnrMode",
+    "tolerance_from_idx",
+    "data_range",
+    "Q_FACTOR",
+]
+
+#: Default coefficient-quantization step in units of the tolerance
+#: (paper Sec. IV-D: sweet spot lies in [1.4t, 1.8t]; SPERR picks 1.5t).
+Q_FACTOR = 1.5
+
+
+@dataclass(frozen=True)
+class PweMode:
+    """Error-bounded compression with a maximum point-wise error ``tolerance``.
+
+    ``q_factor`` positions the balance between coefficient and outlier
+    coding (quantization step ``q = q_factor * tolerance``); the default
+    follows the paper's empirical sweet-spot study.
+    """
+
+    tolerance: float
+    q_factor: float = Q_FACTOR
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.tolerance) or self.tolerance <= 0:
+            raise InvalidArgumentError("PWE tolerance must be a positive finite number")
+        if not np.isfinite(self.q_factor) or self.q_factor <= 0:
+            raise InvalidArgumentError("q_factor must be positive")
+
+    @property
+    def q(self) -> float:
+        """Quantization step for coefficient coding."""
+        return self.q_factor * self.tolerance
+
+
+@dataclass(frozen=True)
+class SizeMode:
+    """Size-bounded compression targeting ``bpp`` bits per data point."""
+
+    bpp: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.bpp) or self.bpp <= 0:
+            raise InvalidArgumentError("target bitrate must be positive")
+
+
+@dataclass(frozen=True)
+class PsnrMode:
+    """Average-error-bounded compression targeting ``psnr_db`` decibels.
+
+    For SPERR this implements the first future-work item of Sec. VII:
+    because the CDF 9/7 basis is near-orthogonal, the RMSE of the coded
+    wavelet coefficients approximately equals the RMSE of the
+    reconstruction, so a target average error can be hit by calibrating
+    the quantization step in the *coefficient domain* — no inverse
+    transform or outlier pass needed.
+    """
+
+    psnr_db: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.psnr_db) or self.psnr_db <= 0:
+            raise InvalidArgumentError("PSNR target must be positive")
+
+
+def data_range(data: np.ndarray) -> float:
+    """``max(f) - min(f)`` of a field (the Range of Table I)."""
+    data = np.asarray(data)
+    if data.size == 0:
+        raise InvalidArgumentError("empty array has no range")
+    return float(data.max() - data.min())
+
+
+def tolerance_from_idx(data: np.ndarray | float, idx: int) -> float:
+    """Translate a paper tolerance label ``idx`` into an actual PWE tolerance.
+
+    ``t = Range / 2**idx`` (Table I): idx=10 is about a thousandth of the
+    data range, idx=20 a millionth, and so on.  ``data`` may be the field
+    itself or a precomputed range.
+    """
+    if idx < 0:
+        raise InvalidArgumentError("idx must be non-negative")
+    rng = float(data) if np.isscalar(data) else data_range(np.asarray(data))
+    if rng <= 0:
+        raise InvalidArgumentError(
+            "data range is zero (constant field); a PWE tolerance cannot be "
+            "derived from an idx label"
+        )
+    return rng / float(2**idx)

@@ -1,0 +1,116 @@
+"""Progressive and multi-resolution access — the paper's Sec. VII roadmap.
+
+Two capabilities fall out of SPERR's wavelet + embedded-bitplane design:
+
+* :func:`truncate` — any prefix of a SPECK stream is decodable, so a
+  stored container can be cut down to a byte budget *after the fact*
+  without re-encoding (streaming / tiered-storage use cases).  The
+  truncated container decodes to a coarser but valid reconstruction.
+* :func:`decompress_multires` — the wavelet hierarchy represents the
+  data as self-similar coarsened levels, so a low-resolution preview can
+  be reconstructed by skipping the finest inverse-transform levels.
+
+Both operate on standard containers produced by :func:`repro.compress`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import lossless
+from ..bitstream import HEADER_SIZE, ChunkHeader, ChunkParams
+from ..errors import InvalidArgumentError, StreamFormatError, UnsupportedModeError
+from ..speck import decode_coefficients
+from ..wavelets import WaveletPlan, inverse_to_level
+from .container import build_container, parse_container
+
+__all__ = ["truncate", "decompress_multires"]
+
+
+def _split_chunk(raw: bytes) -> tuple[ChunkHeader, ChunkParams, bytes, bytes]:
+    header = ChunkHeader.unpack(raw)
+    params = ChunkParams.unpack(raw[HEADER_SIZE:])
+    body = raw[HEADER_SIZE + ChunkParams.SIZE :]
+    if len(body) < header.speck_nbytes + params.outlier_nbytes:
+        raise StreamFormatError("chunk stream shorter than its section table")
+    speck = body[: header.speck_nbytes]
+    outliers = body[header.speck_nbytes : header.speck_nbytes + params.outlier_nbytes]
+    return header, params, speck, outliers
+
+
+def truncate(payload: bytes, fraction: float) -> bytes:
+    """Cut every chunk's SPECK stream to ``fraction`` of its bits.
+
+    Returns a new, self-contained container.  The outlier sections are
+    dropped (their corrections refer to the full-precision coefficient
+    reconstruction), so the result is a *size-mode* container: it decodes
+    to a valid coarser reconstruction but no longer carries a PWE
+    guarantee — exactly the trade-off of the streaming scenario in
+    Sec. VII.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise InvalidArgumentError("fraction must be in (0, 1]")
+    parsed = parse_container(payload)
+    new_streams: list[bytes] = []
+    for stream in parsed.streams:
+        header, params, speck, _outliers = _split_chunk(lossless.decompress(stream))
+        new_nbits = max(16, int(params.speck_nbits * fraction))
+        new_nbits = min(new_nbits, params.speck_nbits)
+        new_speck = speck[: (new_nbits + 7) // 8]
+        new_header = ChunkHeader(
+            shape=header.shape,
+            speck_nbytes=len(new_speck),
+            is_double=header.is_double,
+            pwe_mode=False,
+            has_outliers=False,
+        )
+        new_params = ChunkParams(
+            q=params.q,
+            tolerance=0.0,
+            speck_nbits=new_nbits,
+            outlier_nbits=0,
+            outlier_nbytes=0,
+            wavelet=params.wavelet,
+            levels=params.levels,
+        )
+        raw = new_header.pack() + new_params.pack() + new_speck
+        new_streams.append(lossless.compress(raw, method="auto"))
+    return build_container(
+        parsed.rank, parsed.dtype, 1, parsed.shape, parsed.chunks, new_streams
+    )
+
+
+def decompress_multires(payload: bytes, level: int) -> np.ndarray:
+    """Reconstruct a coarsened view: skip the finest ``level`` inverse
+    wavelet levels (each skipped level roughly halves every axis).
+
+    Requires a single-chunk container — coarse views of independently
+    transformed chunks do not tile into one coherent coarse volume.
+    ``level = 0`` is equivalent to full decompression without outlier
+    corrections applied at coarser levels (corrections are point-wise at
+    full resolution, so they are applied only when ``level == 0``).
+    """
+    if level < 0:
+        raise InvalidArgumentError("level must be non-negative")
+    parsed = parse_container(payload)
+    if len(parsed.streams) != 1:
+        raise UnsupportedModeError(
+            "multi-resolution decoding requires a single-chunk container "
+            f"(this one has {len(parsed.streams)} chunks)"
+        )
+    if level == 0:
+        from .container import decompress
+
+        return decompress(payload)
+
+    raw = lossless.decompress(parsed.streams[0])
+    header, params, speck, _outliers = _split_chunk(raw)
+    shape = parsed.shape
+    coeffs = decode_coefficients(speck, shape, params.q, nbits=params.speck_nbits)
+    plan = WaveletPlan.create(shape, wavelet=params.wavelet, levels=params.levels)
+    if level > plan.total_levels:
+        raise InvalidArgumentError(
+            f"container supports at most {plan.total_levels} coarsening levels"
+        )
+    box = inverse_to_level(coeffs, plan, level)
+    return box.astype(parsed.dtype, copy=False)

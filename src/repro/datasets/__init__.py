@@ -1,0 +1,38 @@
+"""Deterministic synthetic data sets standing in for SDRBench and Kodak."""
+
+from .fields import (
+    FIELDS,
+    get_field,
+    miranda_density,
+    miranda_pressure,
+    miranda_velocity_x,
+    miranda_viscosity,
+    nyx_dark_matter_density,
+    nyx_velocity_x,
+    qmcpack_orbitals,
+    s3d_ch4,
+    s3d_temperature,
+    s3d_velocity_x,
+)
+from .kodak import lighthouse
+from .simulation import AdvectionDiffusion
+from .spectral import radial_wavenumber, spectral_field
+
+__all__ = [
+    "FIELDS",
+    "get_field",
+    "lighthouse",
+    "AdvectionDiffusion",
+    "radial_wavenumber",
+    "spectral_field",
+    "miranda_pressure",
+    "miranda_viscosity",
+    "miranda_density",
+    "miranda_velocity_x",
+    "s3d_ch4",
+    "s3d_temperature",
+    "s3d_velocity_x",
+    "nyx_dark_matter_density",
+    "nyx_velocity_x",
+    "qmcpack_orbitals",
+]

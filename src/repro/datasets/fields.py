@@ -1,0 +1,181 @@
+"""Synthetic stand-ins for the paper's SDRBench test fields (Sec. VI-B).
+
+The paper evaluates on four open simulations — Miranda (hydrodynamics
+turbulence), S3D (combustion), Nyx (cosmology), QMCPACK (quantum Monte
+Carlo orbitals) — at volume sizes far beyond this container.  Each
+generator below reproduces the statistical character that drives
+compressor behaviour for the corresponding field family:
+
+* Miranda fields: smooth turbulence with steep spectra; Viscosity adds
+  sharp mixing-layer interfaces (material boundaries), Density adds
+  large-scale stratification.
+* S3D fields: thin curved reaction fronts (steep sigmoids) over smooth
+  backgrounds, with high dynamic range in species concentrations.
+* Nyx Dark Matter Density: log-normal, extremely clumpy, heavy-tailed —
+  the classic hard case for transform coders.
+* QMCPACK: stacks of smooth oscillatory orbital volumes with Gaussian
+  envelopes.
+
+All generators are deterministic in ``seed`` and return float64 arrays
+normalized to reasonable physical-looking ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import InvalidArgumentError
+from .spectral import spectral_field
+
+__all__ = [
+    "FIELDS",
+    "get_field",
+    "miranda_pressure",
+    "miranda_viscosity",
+    "miranda_density",
+    "miranda_velocity_x",
+    "s3d_ch4",
+    "s3d_temperature",
+    "s3d_velocity_x",
+    "nyx_dark_matter_density",
+    "nyx_velocity_x",
+    "qmcpack_orbitals",
+]
+
+_DEFAULT_SHAPE = (64, 64, 64)
+
+
+def _grid(shape: tuple[int, ...]) -> list[np.ndarray]:
+    axes = [np.linspace(0.0, 1.0, n) for n in shape]
+    return list(np.meshgrid(*axes, indexing="ij"))
+
+
+def miranda_pressure(shape: tuple[int, ...] = _DEFAULT_SHAPE, seed: int = 0) -> np.ndarray:
+    """Smooth pressure field: steep spectrum plus a large-scale gradient."""
+    rng = np.random.default_rng(seed)
+    base = spectral_field(shape, slope=4.0, seed=rng)
+    g = _grid(shape)
+    trend = 2.0 * g[0] + 0.5 * np.sin(2 * np.pi * g[-1])
+    return 1.0e6 * (1.0 + 0.05 * base + 0.02 * trend)
+
+
+def miranda_viscosity(shape: tuple[int, ...] = _DEFAULT_SHAPE, seed: int = 1) -> np.ndarray:
+    """Turbulent mixing layer: two materials separated by a wrinkled interface."""
+    rng = np.random.default_rng(seed)
+    g = _grid(shape)
+    wrinkle = 0.12 * spectral_field(shape, slope=3.0, seed=rng)
+    interface = np.tanh((g[0] - 0.5 + wrinkle) / 0.04)
+    turb = 0.08 * spectral_field(shape, slope=2.5, seed=rng)
+    return 1.0e-4 * (1.5 + interface + turb)
+
+
+def miranda_density(shape: tuple[int, ...] = _DEFAULT_SHAPE, seed: int = 2) -> np.ndarray:
+    """Stratified density with turbulent perturbations."""
+    rng = np.random.default_rng(seed)
+    g = _grid(shape)
+    strat = np.exp(-1.5 * g[0])
+    turb = 0.1 * spectral_field(shape, slope=11.0 / 3.0, seed=rng)
+    return 2.0 * (strat + 0.15 * turb + 0.5)
+
+
+def miranda_velocity_x(shape: tuple[int, ...] = _DEFAULT_SHAPE, seed: int = 3) -> np.ndarray:
+    """Kolmogorov-spectrum velocity component."""
+    return 350.0 * spectral_field(shape, slope=5.0 / 3.0 + 2.0, seed=seed)
+
+
+def s3d_ch4(shape: tuple[int, ...] = _DEFAULT_SHAPE, seed: int = 4) -> np.ndarray:
+    """CH4 mass fraction: consumed across a thin wrinkled flame front."""
+    rng = np.random.default_rng(seed)
+    g = _grid(shape)
+    wrinkle = 0.1 * spectral_field(shape, slope=3.0, seed=rng)
+    front = 0.5 * (1.0 - np.tanh((g[0] - 0.45 + wrinkle) / 0.03))
+    background = 0.02 * np.abs(spectral_field(shape, slope=4.0, seed=rng))
+    return 0.06 * front + 1e-3 * background
+
+
+def s3d_temperature(shape: tuple[int, ...] = _DEFAULT_SHAPE, seed: int = 5) -> np.ndarray:
+    """Temperature: cold reactants, hot products, smooth in each region."""
+    rng = np.random.default_rng(seed)
+    g = _grid(shape)
+    wrinkle = 0.1 * spectral_field(shape, slope=3.0, seed=rng)
+    front = 0.5 * (1.0 + np.tanh((g[0] - 0.45 + wrinkle) / 0.03))
+    fluct = 0.01 * spectral_field(shape, slope=4.0, seed=rng)
+    return 800.0 + 1400.0 * front + 30.0 * fluct
+
+
+def s3d_velocity_x(shape: tuple[int, ...] = _DEFAULT_SHAPE, seed: int = 6) -> np.ndarray:
+    """Velocity with flame-induced acceleration plus turbulence."""
+    rng = np.random.default_rng(seed)
+    g = _grid(shape)
+    accel = 5.0 * np.tanh((g[0] - 0.45) / 0.1)
+    turb = 2.0 * spectral_field(shape, slope=5.0 / 3.0 + 2.0, seed=rng)
+    return accel + turb
+
+
+def nyx_dark_matter_density(
+    shape: tuple[int, ...] = _DEFAULT_SHAPE, seed: int = 7
+) -> np.ndarray:
+    """Log-normal clumpy density: heavy tails, huge dynamic range."""
+    base = spectral_field(shape, slope=2.2, seed=seed)
+    return np.exp(2.2 * base)
+
+
+def nyx_velocity_x(shape: tuple[int, ...] = _DEFAULT_SHAPE, seed: int = 8) -> np.ndarray:
+    """Large-scale coherent cosmological velocity field."""
+    return 1.0e7 * spectral_field(shape, slope=3.5, seed=seed)
+
+
+def qmcpack_orbitals(
+    shape: tuple[int, ...] = (32, 32, 48),
+    seed: int = 9,
+    n_orbitals: int = 4,
+) -> np.ndarray:
+    """Stack of smooth oscillatory orbital volumes, shape ``(*shape, n_orbitals)``
+    flattened into one 3-D array along the last axis (the paper treats the
+    QMCPACK file as a stack of 3-D volumes)."""
+    if n_orbitals < 1:
+        raise InvalidArgumentError("need at least one orbital")
+    rng = np.random.default_rng(seed)
+    g = _grid(shape)
+    volumes = []
+    for _ in range(n_orbitals):
+        k = rng.integers(1, 5, size=len(shape))
+        phase = rng.uniform(0, 2 * np.pi, size=len(shape))
+        wave = np.ones(shape)
+        for ax, (kk, ph) in enumerate(zip(k, phase)):
+            wave = wave * np.sin(2 * np.pi * kk * g[ax] + ph)
+        center = rng.uniform(0.3, 0.7, size=len(shape))
+        envelope = np.exp(
+            -sum((g[ax] - center[ax]) ** 2 for ax in range(len(shape))) / 0.08
+        )
+        volumes.append(wave * envelope)
+    return np.concatenate(volumes, axis=-1)
+
+
+#: Field registry: name -> generator(shape=..., seed=...).
+FIELDS: dict[str, Callable[..., np.ndarray]] = {
+    "miranda_pressure": miranda_pressure,
+    "miranda_viscosity": miranda_viscosity,
+    "miranda_density": miranda_density,
+    "miranda_velocity_x": miranda_velocity_x,
+    "s3d_ch4": s3d_ch4,
+    "s3d_temperature": s3d_temperature,
+    "s3d_velocity_x": s3d_velocity_x,
+    "nyx_dark_matter_density": nyx_dark_matter_density,
+    "nyx_velocity_x": nyx_velocity_x,
+    "qmcpack_orbitals": qmcpack_orbitals,
+}
+
+
+def get_field(name: str, shape: tuple[int, ...] | None = None, seed: int | None = None) -> np.ndarray:
+    """Generate a registered field by name with optional shape/seed override."""
+    if name not in FIELDS:
+        raise InvalidArgumentError(f"unknown field {name!r}; choose from {sorted(FIELDS)}")
+    kwargs = {}
+    if shape is not None:
+        kwargs["shape"] = tuple(shape)
+    if seed is not None:
+        kwargs["seed"] = seed
+    return FIELDS[name](**kwargs)

@@ -1,0 +1,62 @@
+"""Procedural stand-in for the Kodak "Lighthouse" test image.
+
+Fig. 1 of the paper plots outlier positions on the Lighthouse image from
+the Kodak suite.  With no bundled image data we synthesize a 2-D scene
+with the same compression-relevant structure: a smooth sky gradient, a
+textured sea, a high-contrast striped lighthouse tower (sharp vertical
+edges), a picket fence (dense periodic edges — the famously hard region
+of the original photo), and grass texture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidArgumentError
+from .spectral import spectral_field
+
+__all__ = ["lighthouse"]
+
+
+def lighthouse(shape: tuple[int, int] = (256, 384), seed: int = 0) -> np.ndarray:
+    """Grayscale lighthouse-like test image in [0, 255], float64."""
+    if len(shape) != 2 or min(shape) < 32:
+        raise InvalidArgumentError("lighthouse wants a 2-D shape of at least 32x32")
+    h, w = shape
+    rng = np.random.default_rng(seed)
+    y, x = np.meshgrid(np.linspace(0, 1, h), np.linspace(0, 1, w), indexing="ij")
+
+    # Sky: smooth vertical gradient with soft clouds.
+    img = 200.0 - 60.0 * y + 10.0 * spectral_field(shape, slope=4.0, seed=rng)
+
+    # Sea band with wave texture.
+    sea = (y > 0.55) & (y < 0.72)
+    img[sea] = (
+        90.0
+        + 15.0 * np.sin(40.0 * np.pi * x[sea] + 8.0 * np.sin(6.0 * np.pi * y[sea]))
+        + 6.0 * spectral_field(shape, slope=2.0, seed=rng)[sea]
+    )
+
+    # Grass foreground: rough texture.
+    grass = y >= 0.72
+    img[grass] = 70.0 + 20.0 * spectral_field(shape, slope=1.2, seed=rng)[grass]
+
+    # Lighthouse tower: tapered column with horizontal stripes.
+    cx = 0.35
+    half_width = 0.035 + 0.025 * y
+    tower = (np.abs(x - cx) < half_width) & (y > 0.18) & (y < 0.72)
+    stripes = (np.floor(y * 14.0) % 2).astype(np.float64)
+    img[tower] = 40.0 + 190.0 * stripes[tower]
+
+    # Lantern room on top.
+    lantern = (np.abs(x - cx) < 0.045) & (y > 0.12) & (y <= 0.18)
+    img[lantern] = 30.0
+
+    # Picket fence: dense vertical stripes in the foreground.
+    fence = (y > 0.80) & (y < 0.92)
+    pickets = (np.floor(x * 60.0) % 2).astype(np.float64)
+    img[fence] = 60.0 + 150.0 * pickets[fence]
+
+    # Film grain.
+    img += rng.normal(0.0, 1.5, size=shape)
+    return np.clip(img, 0.0, 255.0)

@@ -1,0 +1,55 @@
+"""Spectrally shaped Gaussian random fields.
+
+The rate-distortion behaviour of transform coders is governed primarily
+by the spectral decay of the input: steep spectra (smooth fields) favour
+wavelets, shallow spectra approach incompressible noise.  These helpers
+synthesize fields with controlled power-law spectra ``P(k) ~ k^-slope``,
+which is how the SDRBench stand-ins (see :mod:`repro.datasets.fields`)
+match the *character* of the paper's simulation outputs without the
+actual multi-terabyte data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidArgumentError
+
+__all__ = ["spectral_field", "radial_wavenumber"]
+
+
+def radial_wavenumber(shape: tuple[int, ...]) -> np.ndarray:
+    """Isotropic wavenumber magnitude grid for an FFT of ``shape``."""
+    axes = [np.fft.fftfreq(n) * n for n in shape]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.sqrt(sum(m**2 for m in mesh))
+
+
+def spectral_field(
+    shape: tuple[int, ...],
+    slope: float,
+    seed: int | np.random.Generator = 0,
+    *,
+    kmin: float = 1.0,
+) -> np.ndarray:
+    """Gaussian random field with isotropic power spectrum ``k**-slope``.
+
+    Returned field is normalized to zero mean, unit standard deviation.
+    Larger ``slope`` means steeper spectral decay, i.e. a smoother field:
+    ~5/3 resembles turbulent velocity (Kolmogorov), >3 resembles smooth
+    thermodynamic fields, 0 is white noise.
+    """
+    if any(n < 2 for n in shape):
+        raise InvalidArgumentError(f"every axis must have >= 2 samples, got {shape}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    white = rng.standard_normal(shape)
+    spectrum = np.fft.fftn(white)
+    k = radial_wavenumber(shape)
+    k[tuple(0 for _ in shape)] = kmin  # avoid division by zero at DC
+    amplitude = np.maximum(k, kmin) ** (-slope / 2.0)
+    field = np.fft.ifftn(spectrum * amplitude).real
+    field -= field.mean()
+    std = field.std()
+    if std > 0:
+        field /= std
+    return field

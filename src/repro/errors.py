@@ -1,0 +1,29 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while still being
+able to discriminate failure modes (malformed streams vs. bad arguments vs.
+unsatisfiable requests).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro/SPERR library."""
+
+
+class InvalidArgumentError(ReproError, ValueError):
+    """An argument is out of range, the wrong shape, or otherwise unusable."""
+
+
+class StreamFormatError(ReproError):
+    """A compressed stream is truncated, corrupt, or from a different codec."""
+
+
+class BudgetError(ReproError):
+    """A size budget is too small to produce any valid output."""
+
+
+class UnsupportedModeError(ReproError):
+    """The requested compression mode is not supported by this compressor."""

@@ -1,0 +1,7 @@
+"""From-scratch lossless codecs: Huffman, RLE, LZ77, and the composite
+backend used as SPERR's final (ZSTD-substitute) pass."""
+
+from . import arith, huffman, lz77, rle, universal
+from .backend import METHODS, compress, decompress
+
+__all__ = ["compress", "decompress", "METHODS", "arith", "huffman", "rle", "lz77", "universal"]

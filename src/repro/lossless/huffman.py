@@ -1,0 +1,253 @@
+"""Canonical Huffman coding over byte (or small-integer) alphabets.
+
+This is the entropy-coding substrate used in three places:
+
+* the final lossless pass over concatenated SPERR streams (the paper uses
+  ZSTD there; see DESIGN.md for the substitution),
+* the SZ-like baseline's quantization-bin codec, and
+* the QCAT ``compressQuantBins`` equivalent used by the Fig. 11 outlier
+  coding comparison.
+
+Encoding is fully vectorized: symbols are mapped to (code, length) pairs
+through table lookups and scattered into a bit array in one pass.  Decoding
+uses a windowed lookup table over the next ``max_len`` bits; the per-symbol
+loop is plain Python but each iteration is two array reads, which is fast
+enough for the stream sizes this reproduction handles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidArgumentError, StreamFormatError
+
+__all__ = ["HuffmanCode", "build_code", "encode", "decode"]
+
+_MAX_CODE_LEN = 24  # decode table is 2**min(max_len, 16); codes longer than 24 never occur for <=2**16 symbols in practice
+
+
+@dataclass(frozen=True)
+class HuffmanCode:
+    """A canonical Huffman code book.
+
+    Attributes
+    ----------
+    lengths:
+        ``uint8`` array of code lengths indexed by symbol; zero for unused
+        symbols.
+    codes:
+        ``uint32`` array of canonical code values (MSB-first) per symbol.
+    """
+
+    lengths: np.ndarray
+    codes: np.ndarray
+
+    @property
+    def nsymbols(self) -> int:
+        return int(self.lengths.size)
+
+
+def _huffman_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Compute Huffman code lengths from symbol frequencies.
+
+    Uses the standard heap construction; lengths are then limited to
+    :data:`_MAX_CODE_LEN` by the simple "push down" adjustment, preserving
+    Kraft validity.
+    """
+    n = freqs.size
+    lengths = np.zeros(n, dtype=np.uint8)
+    used = np.flatnonzero(freqs > 0)
+    if used.size == 0:
+        return lengths
+    if used.size == 1:
+        lengths[used[0]] = 1
+        return lengths
+
+    # Heap of (freq, tiebreak, node). Leaves are ints, internal nodes lists
+    # of leaf symbols.
+    heap: list[tuple[int, int, list[int]]] = [
+        (int(freqs[s]), int(s), [int(s)]) for s in used
+    ]
+    heapq.heapify(heap)
+    tiebreak = n
+    while len(heap) > 1:
+        fa, _, a = heapq.heappop(heap)
+        fb, _, b = heapq.heappop(heap)
+        for s in a:
+            lengths[s] += 1
+        for s in b:
+            lengths[s] += 1
+        heapq.heappush(heap, (fa + fb, tiebreak, a + b))
+        tiebreak += 1
+
+    if lengths.max() > _MAX_CODE_LEN:
+        lengths = _limit_lengths(lengths, _MAX_CODE_LEN)
+    return lengths
+
+
+def _limit_lengths(lengths: np.ndarray, limit: int) -> np.ndarray:
+    """Clamp code lengths to ``limit`` while keeping the Kraft sum <= 1."""
+    lengths = lengths.copy()
+    lengths[lengths > limit] = limit
+    # Repair Kraft inequality: increase lengths of the shortest over-budget
+    # codes until sum(2^-len) <= 1.
+    used = lengths > 0
+    kraft = np.sum(2.0 ** -lengths[used].astype(np.float64))
+    while kraft > 1.0 + 1e-12:
+        # Lengthen the currently shortest code below the limit.
+        candidates = np.flatnonzero(used & (lengths < limit))
+        if candidates.size == 0:
+            raise InvalidArgumentError("cannot satisfy Kraft inequality")
+        shortest = candidates[np.argmin(lengths[candidates])]
+        kraft -= 2.0 ** -float(lengths[shortest])
+        lengths[shortest] += 1
+        kraft += 2.0 ** -float(lengths[shortest])
+    return lengths
+
+
+def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical code values from code lengths."""
+    codes = np.zeros(lengths.size, dtype=np.uint32)
+    order = np.lexsort((np.arange(lengths.size), lengths))
+    order = order[lengths[order] > 0]
+    code = 0
+    prev_len = 0
+    for sym in order:
+        length = int(lengths[sym])
+        code <<= length - prev_len
+        codes[sym] = code
+        code += 1
+        prev_len = length
+    return codes
+
+
+def build_code(freqs: np.ndarray) -> HuffmanCode:
+    """Build a canonical Huffman code from a frequency table."""
+    freqs = np.asarray(freqs, dtype=np.int64)
+    if freqs.ndim != 1:
+        raise InvalidArgumentError("freqs must be a 1-D array")
+    lengths = _huffman_lengths(freqs)
+    return HuffmanCode(lengths=lengths, codes=_canonical_codes(lengths))
+
+
+def encode(symbols: np.ndarray, code: HuffmanCode) -> tuple[bytes, int]:
+    """Encode a symbol array; returns ``(packed_bytes, nbits)``.
+
+    Fully vectorized: each symbol's code bits are expanded with
+    ``unpackbits`` on the 32-bit code values and scattered to their cumsum
+    offsets in the output bit array.
+    """
+    symbols = np.asarray(symbols)
+    if symbols.size == 0:
+        return b"", 0
+    lens = code.lengths[symbols].astype(np.int64)
+    if np.any(lens == 0):
+        raise InvalidArgumentError("symbol without a code encountered")
+    codes = code.codes[symbols]
+
+    total = int(lens.sum())
+    out = np.zeros(total, dtype=np.uint8)
+    # Bit j of symbol i (0 = MSB of its code) lands at offset[i] + j.
+    offsets = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    # Expand each code into its `len` MSB-first bits.
+    max_len = int(lens.max())
+    shifts = np.arange(max_len - 1, -1, -1, dtype=np.uint32)
+    # bits_mat[i, j] = bit (len_i - 1 - j) ... we want MSB first per symbol:
+    # value >> (len-1-j) & 1 for j in [0, len)
+    j = np.arange(max_len)
+    valid = j[None, :] < lens[:, None]
+    shift = (lens[:, None] - 1 - j[None, :]).clip(min=0).astype(np.uint32)
+    bits_mat = (codes[:, None] >> shift) & np.uint32(1)
+    flat_positions = (offsets[:, None] + j[None, :])[valid]
+    out[flat_positions] = bits_mat[valid].astype(np.uint8)
+    return np.packbits(out).tobytes(), total
+
+
+def decode(data: bytes, nbits: int, nsymbols: int, code: HuffmanCode) -> np.ndarray:
+    """Decode ``nsymbols`` symbols from a packed Huffman bit stream."""
+    if nsymbols == 0:
+        return np.zeros(0, dtype=np.int64)
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))[:nbits]
+    if bits.size < nbits:
+        raise StreamFormatError("huffman stream shorter than declared")
+
+    used = np.flatnonzero(code.lengths > 0)
+    if used.size == 0:
+        raise StreamFormatError("empty code book")
+    max_len = int(code.lengths[used].max())
+
+    # Window table: value of next `max_len` bits -> (symbol, length).
+    table_sym = np.full(1 << max_len, -1, dtype=np.int64)
+    table_len = np.zeros(1 << max_len, dtype=np.int64)
+    for sym in used.tolist():
+        length = int(code.lengths[sym])
+        base = int(code.codes[sym]) << (max_len - length)
+        span = 1 << (max_len - length)
+        table_sym[base : base + span] = sym
+        table_len[base : base + span] = length
+
+    # Window values at every bit offset via correlation with powers of two.
+    kernel = (1 << np.arange(max_len - 1, -1, -1)).astype(np.int64)
+    padded = np.concatenate([bits.astype(np.int64), np.zeros(max_len - 1, dtype=np.int64)])
+    windows = np.convolve(padded, kernel[::-1], mode="valid")[: bits.size]
+
+    out = np.empty(nsymbols, dtype=np.int64)
+    pos = 0
+    wins = windows  # local alias for speed
+    tsym = table_sym
+    tlen = table_len
+    total_bits = int(bits.size)
+    for i in range(nsymbols):
+        if pos >= total_bits:
+            raise StreamFormatError("huffman stream exhausted mid-symbol")
+        w = wins[pos]
+        sym = tsym[w]
+        if sym < 0:
+            raise StreamFormatError("invalid huffman code word")
+        out[i] = sym
+        pos += tlen[w]
+    return out
+
+
+def serialize_code(code: HuffmanCode) -> bytes:
+    """Serialize a code book as (nsymbols: u32, lengths: u8 array, RLE'd)."""
+    lengths = code.lengths.astype(np.uint8)
+    import struct
+
+    # Simple zero-run compression of the length table: pairs (len, run).
+    parts = [struct.pack("<I", lengths.size)]
+    i = 0
+    arr = lengths.tolist()
+    n = len(arr)
+    while i < n:
+        j = i
+        while j < n and arr[j] == arr[i] and j - i < 255:
+            j += 1
+        parts.append(bytes([arr[i], j - i]))
+        i = j
+    return b"".join(parts)
+
+
+def deserialize_code(data: bytes) -> tuple[HuffmanCode, int]:
+    """Inverse of :func:`serialize_code`; returns (code, bytes_consumed)."""
+    import struct
+
+    if len(data) < 4:
+        raise StreamFormatError("truncated code book")
+    (nsym,) = struct.unpack("<I", data[:4])
+    lengths = np.zeros(nsym, dtype=np.uint8)
+    pos = 4
+    filled = 0
+    while filled < nsym:
+        if pos + 2 > len(data):
+            raise StreamFormatError("truncated code book run")
+        val, run = data[pos], data[pos + 1]
+        if run == 0:
+            raise StreamFormatError("zero-length run in code book")
+        lengths[filled : filled + run] = val
+        filled += run
+        pos += 2
+    return HuffmanCode(lengths=lengths, codes=_canonical_codes(lengths)), pos

@@ -1,0 +1,106 @@
+"""LZ77 with hash-chain match finding.
+
+This supplies the dictionary-matching half of the "deflate-like" lossless
+backend (the ZSTD stand-in; see DESIGN.md).  Match finding is a Python loop
+with a 4-byte-hash chain table, so the backend only routes small-to-medium
+payloads (headers, code books, low-entropy sections) through it; the
+``auto`` selector keeps whichever candidate is smallest.
+
+Token format (bit-packed, MSB-first):
+  flag=0: literal byte (8 bits)
+  flag=1: match — offset-1 (16 bits), length-MIN_MATCH (8 bits)
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..bitstream import BitReader, BitWriter
+from ..errors import StreamFormatError
+
+__all__ = ["encode", "decode", "MIN_MATCH", "MAX_MATCH", "WINDOW"]
+
+MIN_MATCH = 4
+MAX_MATCH = MIN_MATCH + 255
+WINDOW = 1 << 16
+_CHAIN_LIMIT = 16
+
+
+def _hash4(data: bytes, i: int) -> int:
+    return (data[i] * 506832829 + data[i + 1] * 2654435761
+            + data[i + 2] * 40503 + data[i + 3]) & 0xFFFF
+
+
+def encode(data: bytes) -> bytes:
+    """Compress ``data``; output is ``<u64 original size><bit tokens>``."""
+    n = len(data)
+    writer = BitWriter()
+    head: dict[int, list[int]] = {}
+    i = 0
+    while i < n:
+        best_len = 0
+        best_off = 0
+        if i + MIN_MATCH <= n:
+            h = _hash4(data, i)
+            chain = head.get(h)
+            if chain:
+                lo = i - WINDOW
+                for j in reversed(chain[-_CHAIN_LIMIT:]):
+                    if j < lo:
+                        break
+                    # Extend the match.
+                    length = 0
+                    max_len = min(MAX_MATCH, n - i)
+                    while length < max_len and data[j + length] == data[i + length]:
+                        length += 1
+                    if length > best_len:
+                        best_len = length
+                        best_off = i - j
+                        if length >= MAX_MATCH:
+                            break
+            head.setdefault(h, []).append(i)
+        if best_len >= MIN_MATCH:
+            writer.write_bit(1)
+            writer.write_uint(best_off - 1, 16)
+            writer.write_uint(best_len - MIN_MATCH, 8)
+            # Insert hash entries for skipped positions (sparsely, every
+            # other position, to bound encoder time).
+            end = i + best_len
+            k = i + 1
+            while k < end and k + MIN_MATCH <= n:
+                head.setdefault(_hash4(data, k), []).append(k)
+                k += 2
+            i = end
+        else:
+            writer.write_bit(0)
+            writer.write_uint(data[i], 8)
+            i += 1
+    payload = writer.getvalue()
+    return struct.pack("<QQ", n, writer.nbits) + payload
+
+
+def decode(data: bytes) -> bytes:
+    """Inverse of :func:`encode`."""
+    if len(data) < 16:
+        raise StreamFormatError("truncated LZ77 stream")
+    n, nbits = struct.unpack("<QQ", data[:16])
+    reader = BitReader(data[16:], nbits=min(nbits, (len(data) - 16) * 8))
+    out = bytearray()
+    while len(out) < n:
+        if reader.remaining < 1:
+            raise StreamFormatError("LZ77 stream exhausted early")
+        if reader.read_bit():
+            off = reader.read_uint(16) + 1
+            length = reader.read_uint(8) + MIN_MATCH
+            if off > len(out):
+                raise StreamFormatError("LZ77 match offset beyond output")
+            start = len(out) - off
+            for k in range(length):  # overlapping copies must be byte-wise
+                out.append(out[start + k])
+        else:
+            out.append(reader.read_uint(8))
+    if len(out) != n:
+        raise StreamFormatError("LZ77 stream decodes to wrong size")
+    return bytes(out)

@@ -1,0 +1,96 @@
+"""Elias universal codes (gamma and delta).
+
+Sec. II of the paper surveys alternative designs for outlier storage:
+"record positions using bitmap coding, and ... handle correction values
+using, for example, variable-length coding (e.g., universal codes
+[Elias 1975])".  These are those codes, used by the alternative outlier
+coders in :mod:`repro.outlier.alternatives` that the Sec.-II design-space
+bench compares against SPERR's unified scheme.
+
+Elias gamma codes a positive integer ``n`` as ``floor(log2 n)`` zeros,
+then the binary representation of ``n`` (MSB = the terminating 1).
+Elias delta codes the length with gamma first, then the remaining bits —
+asymptotically better for large values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitstream import BitReader, BitWriter
+from ..errors import InvalidArgumentError, StreamFormatError
+
+__all__ = [
+    "gamma_encode",
+    "gamma_decode",
+    "delta_encode",
+    "delta_decode",
+    "zigzag",
+    "unzigzag",
+]
+
+
+def zigzag(values: np.ndarray) -> np.ndarray:
+    """Map signed integers to positive ones: 0,-1,1,-2,2 -> 1,2,3,4,5."""
+    values = np.asarray(values, dtype=np.int64)
+    return np.where(values >= 0, 2 * values + 1, -2 * values)
+
+
+def unzigzag(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag`."""
+    values = np.asarray(values, dtype=np.int64)
+    return np.where(values % 2 == 1, (values - 1) // 2, -(values // 2))
+
+
+def gamma_encode(values: np.ndarray, writer: BitWriter) -> None:
+    """Append the Elias gamma codes of positive integers to a writer."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and values.min() < 1:
+        raise InvalidArgumentError("gamma codes require positive integers")
+    for v in values.tolist():
+        nbits = v.bit_length()
+        writer.write_bits(np.zeros(nbits - 1, dtype=np.bool_))
+        writer.write_uint(v, nbits)
+
+
+def gamma_decode(reader: BitReader, count: int) -> np.ndarray:
+    """Read ``count`` gamma-coded positive integers."""
+    out = np.empty(count, dtype=np.int64)
+    for i in range(count):
+        zeros = 0
+        while True:
+            if reader.remaining < 1:
+                raise StreamFormatError("gamma stream exhausted")
+            if reader.read_bit():
+                break
+            zeros += 1
+        value = 1
+        for _ in range(zeros):
+            value = (value << 1) | (1 if reader.read_bit() else 0)
+        out[i] = value
+    return out
+
+
+def delta_encode(values: np.ndarray, writer: BitWriter) -> None:
+    """Append the Elias delta codes of positive integers to a writer."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and values.min() < 1:
+        raise InvalidArgumentError("delta codes require positive integers")
+    for v in values.tolist():
+        nbits = v.bit_length()
+        gamma_encode(np.asarray([nbits]), writer)
+        if nbits > 1:
+            writer.write_uint(v - (1 << (nbits - 1)), nbits - 1)
+
+
+def delta_decode(reader: BitReader, count: int) -> np.ndarray:
+    """Read ``count`` delta-coded positive integers."""
+    out = np.empty(count, dtype=np.int64)
+    for i in range(count):
+        nbits = int(gamma_decode(reader, 1)[0])
+        if nbits == 1:
+            out[i] = 1
+        else:
+            tail = reader.read_uint(nbits - 1)
+            out[i] = (1 << (nbits - 1)) | tail
+    return out

@@ -1,0 +1,18 @@
+"""Evaluation metrics: RMSE/PSNR/max-PWE, accuracy gain (Eq. 2), SSIM."""
+
+from .errors import bitrate_bpp, max_pwe, mse, psnr, rmse, snr_db
+from .gain import GAIN_DB_PER_BIT, accuracy_gain, accuracy_gain_from_stats
+from .ssim import ssim
+
+__all__ = [
+    "GAIN_DB_PER_BIT",
+    "accuracy_gain",
+    "accuracy_gain_from_stats",
+    "bitrate_bpp",
+    "max_pwe",
+    "mse",
+    "psnr",
+    "rmse",
+    "snr_db",
+    "ssim",
+]

@@ -1,0 +1,67 @@
+"""Error metrics used throughout the paper's evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidArgumentError
+
+__all__ = ["mse", "rmse", "max_pwe", "psnr", "snr_db", "bitrate_bpp"]
+
+
+def _pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise InvalidArgumentError(f"shape mismatch {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise InvalidArgumentError("empty arrays have no error metrics")
+    return a, b
+
+
+def mse(original: np.ndarray, reconstruction: np.ndarray) -> float:
+    """Mean squared error."""
+    a, b = _pair(original, reconstruction)
+    return float(np.mean((a - b) ** 2))
+
+
+def rmse(original: np.ndarray, reconstruction: np.ndarray) -> float:
+    """Root-mean-square error (the E of the accuracy-gain formula)."""
+    return float(np.sqrt(mse(original, reconstruction)))
+
+
+def max_pwe(original: np.ndarray, reconstruction: np.ndarray) -> float:
+    """Maximum point-wise error — the quantity SPERR bounds."""
+    a, b = _pair(original, reconstruction)
+    return float(np.abs(a - b).max())
+
+
+def psnr(original: np.ndarray, reconstruction: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB, peak = data range of the original."""
+    a, b = _pair(original, reconstruction)
+    rng = float(a.max() - a.min())
+    e = rmse(a, b)
+    if e == 0.0:
+        return float("inf")
+    if rng == 0.0:
+        return float("-inf")
+    return 20.0 * np.log10(rng / e)
+
+
+def snr_db(original: np.ndarray, reconstruction: np.ndarray) -> float:
+    """Signal-to-noise ratio in dB using the original's standard deviation."""
+    a, b = _pair(original, reconstruction)
+    sigma = float(a.std())
+    e = rmse(a, b)
+    if e == 0.0:
+        return float("inf")
+    if sigma == 0.0:
+        return float("-inf")
+    return 20.0 * np.log10(sigma / e)
+
+
+def bitrate_bpp(nbytes: int, npoints: int) -> float:
+    """Bits per point of a compressed payload."""
+    if npoints <= 0:
+        raise InvalidArgumentError("npoints must be positive")
+    return 8.0 * nbytes / npoints

@@ -1,0 +1,54 @@
+"""Structural similarity (SSIM), the domain-specific metric the paper
+points to for use-case-specific evaluation (Sec. VI-C, [39]).
+
+Implemented with uniform local windows over n-D arrays via
+``scipy.ndimage.uniform_filter``, following the standard single-scale
+SSIM formulation of Wang & Bovik.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import uniform_filter
+
+from ..errors import InvalidArgumentError
+
+__all__ = ["ssim"]
+
+
+def ssim(
+    original: np.ndarray,
+    reconstruction: np.ndarray,
+    *,
+    window: int = 7,
+    k1: float = 0.01,
+    k2: float = 0.03,
+) -> float:
+    """Mean SSIM over the array; 1.0 means structurally identical."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstruction, dtype=np.float64)
+    if a.shape != b.shape:
+        raise InvalidArgumentError(f"shape mismatch {a.shape} vs {b.shape}")
+    if min(a.shape) < window:
+        raise InvalidArgumentError(
+            f"window {window} larger than smallest dimension of {a.shape}"
+        )
+    rng = float(a.max() - a.min())
+    if rng == 0.0:
+        return 1.0 if np.array_equal(a, b) else 0.0
+    c1 = (k1 * rng) ** 2
+    c2 = (k2 * rng) ** 2
+
+    mu_a = uniform_filter(a, size=window)
+    mu_b = uniform_filter(b, size=window)
+    mu_aa = uniform_filter(a * a, size=window)
+    mu_bb = uniform_filter(b * b, size=window)
+    mu_ab = uniform_filter(a * b, size=window)
+
+    var_a = np.maximum(mu_aa - mu_a**2, 0.0)
+    var_b = np.maximum(mu_bb - mu_b**2, 0.0)
+    cov = mu_ab - mu_a * mu_b
+
+    num = (2 * mu_a * mu_b + c1) * (2 * cov + c2)
+    den = (mu_a**2 + mu_b**2 + c1) * (var_a + var_b + c2)
+    return float(np.mean(num / den))

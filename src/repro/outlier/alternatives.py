@@ -1,0 +1,124 @@
+"""Alternative outlier coders from the paper's Sec. II design space.
+
+The paper motivates its SPECK-inspired outlier coder by dismissing three
+simpler designs; this module implements them so the claim can be
+measured (``bench_ablation_outlier_designs.py``):
+
+* **CSR-style** — "Compressed Sparse Row ... far from optimal in our
+  application because they still use naive storage to record element
+  positions and values": positions as fixed-width integers, corrections
+  quantized to ``t``-steps as fixed-width integers.
+* **Bitmap + universal codes** — "record positions using bitmap coding
+  ... and handle correction values using ... universal codes": a
+  presence bitmap over the domain (RLE'd through the lossless backend)
+  plus Elias-delta-coded zigzag quantized corrections.
+* **SZ-style quant bins** — quantized correction value for *every*
+  point, Huffman coded (implemented by the SZ-like baseline's codec;
+  compared separately in the Fig. 11 bench).
+
+All three satisfy the same contract as the production coder: positions
+exact, corrections within ``t/2``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .. import lossless
+from ..bitstream import BitReader, BitWriter
+from ..errors import InvalidArgumentError, StreamFormatError
+from ..lossless.universal import delta_decode, delta_encode, unzigzag, zigzag
+
+__all__ = [
+    "csr_encode",
+    "csr_decode",
+    "bitmap_encode",
+    "bitmap_decode",
+    "quantize_corrections",
+    "dequantize_corrections",
+]
+
+
+def quantize_corrections(corrections: np.ndarray, tolerance: float) -> np.ndarray:
+    """Integer codes with reconstruction error <= t/2 (round to t-steps)."""
+    if tolerance <= 0:
+        raise InvalidArgumentError("tolerance must be positive")
+    return np.rint(np.asarray(corrections, dtype=np.float64) / tolerance).astype(
+        np.int64
+    )
+
+
+def dequantize_corrections(codes: np.ndarray, tolerance: float) -> np.ndarray:
+    return codes.astype(np.float64) * tolerance
+
+
+def _position_width(n: int) -> int:
+    return max(1, int(n - 1).bit_length())
+
+
+def csr_encode(
+    positions: np.ndarray, corrections: np.ndarray, n: int, tolerance: float
+) -> bytes:
+    """Naive sparse storage: fixed-width positions + fixed-width codes."""
+    positions = np.asarray(positions, dtype=np.int64)
+    codes = quantize_corrections(corrections, tolerance)
+    pos_bits = _position_width(n)
+    val_bits = max(1, int(np.abs(codes).max(initial=1)).bit_length() + 1)
+
+    writer = BitWriter()
+    for p, c in zip(positions.tolist(), codes.tolist()):
+        writer.write_uint(p, pos_bits)
+        writer.write_uint(int(zigzag(np.asarray([c]))[0]), val_bits)
+    head = struct.pack("<QQdBB", n, positions.size, tolerance, pos_bits, val_bits)
+    return head + writer.getvalue()
+
+
+def csr_decode(payload: bytes) -> tuple[np.ndarray, np.ndarray, float]:
+    """Returns ``(positions, corrections, tolerance)``."""
+    head_size = struct.calcsize("<QQdBB")
+    if len(payload) < head_size:
+        raise StreamFormatError("truncated CSR outlier payload")
+    n, k, tolerance, pos_bits, val_bits = struct.unpack_from("<QQdBB", payload)
+    reader = BitReader(payload[head_size:])
+    positions = np.empty(k, dtype=np.int64)
+    codes = np.empty(k, dtype=np.int64)
+    for i in range(k):
+        positions[i] = reader.read_uint(pos_bits)
+        codes[i] = reader.read_uint(val_bits)
+    return positions, dequantize_corrections(unzigzag(codes), tolerance), tolerance
+
+
+def bitmap_encode(
+    positions: np.ndarray, corrections: np.ndarray, n: int, tolerance: float
+) -> bytes:
+    """Presence bitmap (lossless-compressed) + Elias-delta values."""
+    positions = np.asarray(positions, dtype=np.int64)
+    codes = quantize_corrections(corrections, tolerance)
+    bitmap = np.zeros(n, dtype=np.bool_)
+    bitmap[positions] = True
+    bitmap_bytes = lossless.compress(np.packbits(bitmap).tobytes(), method="auto")
+
+    writer = BitWriter()
+    # outliers have |corr| > t so codes are nonzero; zigzag makes them
+    # positive for the universal code
+    delta_encode(zigzag(codes[np.argsort(positions)]), writer)
+    head = struct.pack("<QQdI", n, positions.size, tolerance, len(bitmap_bytes))
+    return head + bitmap_bytes + writer.getvalue()
+
+
+def bitmap_decode(payload: bytes) -> tuple[np.ndarray, np.ndarray, float]:
+    """Returns ``(positions, corrections, tolerance)``."""
+    head_size = struct.calcsize("<QQdI")
+    if len(payload) < head_size:
+        raise StreamFormatError("truncated bitmap outlier payload")
+    n, k, tolerance, bitmap_len = struct.unpack_from("<QQdI", payload)
+    bitmap_raw = lossless.decompress(payload[head_size : head_size + bitmap_len])
+    bitmap = np.unpackbits(np.frombuffer(bitmap_raw, dtype=np.uint8))[:n].astype(bool)
+    positions = np.flatnonzero(bitmap)
+    if positions.size != k:
+        raise StreamFormatError("bitmap population does not match outlier count")
+    reader = BitReader(payload[head_size + bitmap_len :])
+    codes = unzigzag(delta_decode(reader, int(k)))
+    return positions, dequantize_corrections(codes, tolerance), tolerance

@@ -1,0 +1,29 @@
+"""Outlier location: step 3 of the SPERR pipeline (paper Sec. V-C).
+
+Compares the wavelet reconstruction against the original input and
+returns every point whose absolute error exceeds the PWE tolerance,
+together with the exact correction value ``corr = x - x̃``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidArgumentError
+
+__all__ = ["locate_outliers"]
+
+
+def locate_outliers(
+    original: np.ndarray, reconstruction: np.ndarray, tolerance: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Find points violating the tolerance; returns flat ``(positions, corrections)``."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstruction = np.asarray(reconstruction, dtype=np.float64)
+    if original.shape != reconstruction.shape:
+        raise InvalidArgumentError("original and reconstruction shapes differ")
+    if not np.isfinite(tolerance) or tolerance <= 0:
+        raise InvalidArgumentError("PWE tolerance must be positive")
+    err = original.reshape(-1) - reconstruction.reshape(-1)
+    positions = np.flatnonzero(np.abs(err) > tolerance)
+    return positions, err[positions]

@@ -1,0 +1,29 @@
+"""Dead-zone mid-riser quantization with arbitrary step size.
+
+Implements Sec. III-C of the paper: SPERR relaxes SPECK's integer
+power-of-two thresholds to an arbitrary real quantization step ``q`` by
+pre-scaling coefficients by ``1/q`` and running the integer bitplane
+machinery on the scaled magnitudes.
+
+* dead zone: coefficients with ``|c| <= q`` quantize to integer 0 and
+  reconstruct as exactly 0;
+* outside the dead zone, values in ``(i*q, (i+1)*q]`` reconstruct at
+  ``(i + 1/2) * q`` (mid-riser), so the per-coefficient error is at most
+  ``q/2``.
+"""
+
+from .deadzone import (
+    MAX_INT_MAGNITUDE,
+    calibrate_step,
+    dequantize,
+    integerize,
+    quantize_error_bound,
+)
+
+__all__ = [
+    "integerize",
+    "dequantize",
+    "quantize_error_bound",
+    "calibrate_step",
+    "MAX_INT_MAGNITUDE",
+]

@@ -1,0 +1,53 @@
+"""SPECK set-partitioning bitplane coder (the paper's Sec. III).
+
+High-level entry points operate on real-valued coefficient arrays with an
+arbitrary quantization step ``q``; the integer machinery lives in
+:mod:`repro.speck.codec`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quant import dequantize, integerize
+from .codec import SpeckDecoder, SpeckEncoder, SpeckStats, decode, encode
+from .geometry import Geometry, MaxPyramid
+
+__all__ = [
+    "SpeckEncoder",
+    "SpeckDecoder",
+    "SpeckStats",
+    "Geometry",
+    "MaxPyramid",
+    "encode",
+    "decode",
+    "encode_coefficients",
+    "decode_coefficients",
+]
+
+
+def encode_coefficients(
+    coeffs: np.ndarray, q: float, max_bits: int | None = None
+) -> tuple[bytes, int, SpeckStats, np.ndarray]:
+    """SPECK-encode real coefficients with quantization step ``q``.
+
+    Returns ``(stream, nbits, stats, encoder_reconstruction)`` where the
+    reconstruction is the coefficient array a decoder would produce from
+    the *full* stream — used by the SPERR pipeline to locate outliers
+    without running the decoder (Sec. V-C step 3 still performs the
+    inverse transform).
+    """
+    mags, negative = integerize(coeffs, q)
+    stream, nbits, stats = encode(mags, negative, max_bits=max_bits)
+    recon = dequantize(mags, negative, q)
+    return stream, nbits, stats, recon
+
+
+def decode_coefficients(
+    data: bytes, shape: tuple[int, ...], q: float, nbits: int | None = None
+) -> np.ndarray:
+    """Decode a SPECK stream back to real coefficient values."""
+    rec_mags, negative = decode(data, shape, nbits=nbits)
+    out = rec_mags * q
+    out[negative] *= -1.0
+    return out

@@ -1,0 +1,38 @@
+"""Wavelet transforms: CDF 9/7 (SPERR default), CDF 5/3, Haar; separable
+multi-level n-D DWT with SPERR's level rule."""
+
+from .dwt import (
+    MAX_LEVELS,
+    WaveletPlan,
+    forward,
+    inverse,
+    inverse_to_level,
+    lowpass_dc_gain,
+    num_levels,
+)
+from .lifting import (
+    FILTERS,
+    forward_53,
+    forward_97,
+    forward_haar,
+    inverse_53,
+    inverse_97,
+    inverse_haar,
+)
+
+__all__ = [
+    "FILTERS",
+    "MAX_LEVELS",
+    "WaveletPlan",
+    "forward",
+    "inverse",
+    "inverse_to_level",
+    "lowpass_dc_gain",
+    "num_levels",
+    "forward_97",
+    "inverse_97",
+    "forward_53",
+    "inverse_53",
+    "forward_haar",
+    "inverse_haar",
+]

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def smooth_field(rng: np.random.Generator) -> np.ndarray:
+    """A small smooth 3-D field (fast to compress, realistic spectrum)."""
+    from repro.datasets import spectral_field
+
+    return spectral_field((24, 24, 24), slope=3.0, seed=rng)
+
+
+@pytest.fixture
+def rough_field(rng: np.random.Generator) -> np.ndarray:
+    """A small rough (nearly white) 3-D field."""
+    from repro.datasets import spectral_field
+
+    return spectral_field((20, 20, 20), slope=0.5, seed=rng)

@@ -1,0 +1,121 @@
+"""Power-spectrum analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import radial_power_spectrum, spectral_fidelity
+from repro.datasets import spectral_field
+from repro.errors import InvalidArgumentError
+
+
+class TestRadialSpectrum:
+    def test_slope_recovered(self):
+        """A k^-s field's shell spectrum must decay with roughly slope -s."""
+        f = spectral_field((64, 64), slope=3.0, seed=2)
+        k, p = radial_power_spectrum(f, nbins=12)
+        mask = (k > 2) & (p > 0)
+        slope = np.polyfit(np.log(k[mask]), np.log(p[mask]), 1)[0]
+        assert -4.0 < slope < -2.0
+
+    def test_white_noise_is_flat(self, rng):
+        f = rng.standard_normal((64, 64))
+        k, p = radial_power_spectrum(f, nbins=10)
+        assert p.max() / p.min() < 3.0
+
+    def test_single_mode_concentrates(self):
+        n = 64
+        g = np.arange(n)
+        f = np.sin(2 * np.pi * 8 * g / n)[:, None] * np.ones(n)[None, :]
+        k, p = radial_power_spectrum(f, nbins=16)
+        assert k[np.argmax(p)] == pytest.approx(8, abs=2)
+
+    def test_mean_removed(self):
+        f = np.full((32, 32), 100.0)
+        _, p = radial_power_spectrum(f)
+        assert p.max() == 0.0
+
+    def test_3d_supported(self):
+        f = spectral_field((24, 24, 24), slope=2.0, seed=1)
+        k, p = radial_power_spectrum(f)
+        assert k.size == p.size > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            radial_power_spectrum(np.zeros(0))
+
+
+class TestSpectralFidelity:
+    def test_identical_fields(self):
+        f = spectral_field((32, 32), slope=2.5, seed=4)
+        fid = spectral_fidelity(f, f)
+        np.testing.assert_allclose(fid.ratio, 1.0)
+        assert fid.resolved_fraction() == 1.0
+
+    def test_smoothed_field_loses_high_k(self):
+        from scipy.ndimage import gaussian_filter
+
+        f = spectral_field((64, 64), slope=1.5, seed=5)
+        smooth = gaussian_filter(f, 2.0)
+        fid = spectral_fidelity(f, smooth, nbins=16)
+        assert fid.ratio[-1] < 0.3  # high-k power destroyed
+        assert fid.ratio[0] > 0.8  # large scales survive
+        assert fid.resolved_fraction(0.2) < 0.8
+
+    def test_sperr_preserves_spectrum_at_tight_tolerance(self):
+        import repro
+
+        f = spectral_field((24, 24, 24), slope=2.5, seed=6)
+        t = repro.tolerance_from_idx(f, 16)
+        recon = repro.decompress(repro.compress(f, repro.PweMode(t)).payload)
+        fid = spectral_fidelity(f, recon, nbins=8)
+        assert fid.resolved_fraction(0.05) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            spectral_fidelity(np.zeros((4, 4)), np.zeros((4, 5)))
+
+
+class TestSubbandAnalysis:
+    def test_energy_accounting_sums(self):
+        from repro.analysis import subband_profile
+
+        f = spectral_field((32, 32), slope=3.0, seed=9)
+        profile = subband_profile(f)
+        assert sum(profile.level_energy) == pytest.approx(profile.total_energy)
+
+    def test_smooth_field_energy_in_approximation(self):
+        """Sec. II premise: wavelets concentrate smooth-field energy in
+        the coarse approximation."""
+        from repro.analysis import subband_profile
+
+        f = spectral_field((64, 64), slope=4.0, seed=10)
+        profile = subband_profile(f)
+        assert profile.approximation_share > 0.5
+
+    def test_white_noise_energy_in_details(self):
+        from repro.analysis import subband_profile
+
+        rng = np.random.default_rng(11)
+        profile = subband_profile(rng.standard_normal((64, 64)))
+        assert profile.approximation_share < 0.1
+
+    def test_compaction_curve_monotone_and_steep(self):
+        from repro.analysis import compaction_curve
+
+        f = spectral_field((48, 48, 48), slope=3.5, seed=12)
+        curve = compaction_curve(f)
+        values = [curve[k] for k in sorted(curve)]
+        assert values == sorted(values)
+        # "most information in a small percentage of coefficients":
+        # 1% of coefficients carry the bulk of the energy on this field
+        assert curve[0.01] > 0.8
+        assert curve[0.001] > 0.5
+
+    def test_compaction_flat_for_noise(self):
+        from repro.analysis import compaction_curve
+
+        rng = np.random.default_rng(13)
+        curve = compaction_curve(rng.standard_normal((32, 32)))
+        assert curve[0.01] < 0.2

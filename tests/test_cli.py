@@ -1,0 +1,138 @@
+"""Command-line interface round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import spectral_field
+
+
+@pytest.fixture
+def npy_field(tmp_path):
+    data = spectral_field((16, 16, 16), slope=3.0, seed=5)
+    path = tmp_path / "field.npy"
+    np.save(path, data)
+    return path, data
+
+
+class TestCli:
+    def test_compress_decompress_idx(self, npy_field, tmp_path, capsys):
+        path, data = npy_field
+        out = tmp_path / "field.sperr"
+        back = tmp_path / "back.npy"
+        assert main(["compress", str(path), str(out), "--idx", "12", "--verbose"]) == 0
+        printed = capsys.readouterr().out
+        assert "bpp" in printed and "ratio" in printed
+        assert main(["decompress", str(out), str(back)]) == 0
+        recon = np.load(back)
+        t = (data.max() - data.min()) / 2**12
+        assert np.abs(recon - data).max() <= t
+
+    def test_compress_pwe_flag(self, npy_field, tmp_path):
+        path, data = npy_field
+        out = tmp_path / "f.sperr"
+        t = float(data.max() - data.min()) / 2**10
+        assert main(["compress", str(path), str(out), "--pwe", str(t)]) == 0
+        assert out.stat().st_size > 0
+
+    def test_compress_bpp_flag(self, npy_field, tmp_path):
+        path, data = npy_field
+        out = tmp_path / "f.sperr"
+        assert main(["compress", str(path), str(out), "--bpp", "2.0"]) == 0
+        assert out.stat().st_size * 8 <= data.size * 2.3
+
+    def test_chunked_with_workers(self, npy_field, tmp_path):
+        path, data = npy_field
+        out = tmp_path / "f.sperr"
+        back = tmp_path / "b.npy"
+        assert main([
+            "compress", str(path), str(out), "--idx", "10", "--chunk", "8",
+            "--workers", "2",
+        ]) == 0
+        assert main(["decompress", str(out), str(back)]) == 0
+        t = (data.max() - data.min()) / 2**10
+        assert np.abs(np.load(back) - data).max() <= t
+
+    def test_info(self, npy_field, tmp_path, capsys):
+        path, _ = npy_field
+        out = tmp_path / "f.sperr"
+        main(["compress", str(path), str(out), "--idx", "10"])
+        assert main(["info", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "(16, 16, 16)" in printed
+        assert "PWE-bounded" in printed
+
+    def test_info_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sperr"
+        bad.write_bytes(b"not a container")
+        assert main(["info", str(bad)]) == 1
+
+    def test_error_path_returns_nonzero(self, npy_field, tmp_path, capsys):
+        path, _ = npy_field
+        out = tmp_path / "f.sperr"
+        assert main(["compress", str(path), str(out), "--pwe", "-1.0"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parser_requires_bound(self, npy_field, tmp_path):
+        path, _ = npy_field
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", str(path), "out.sperr"])
+
+    def test_pack_extract_round_trip(self, tmp_path, capsys):
+        frames = []
+        paths = []
+        for i in range(3):
+            f = spectral_field((12, 12), slope=2.0, seed=i)
+            p = tmp_path / f"frame{i}.npy"
+            np.save(p, f)
+            frames.append(f)
+            paths.append(str(p))
+        archive = tmp_path / "run.sperrs"
+        assert main(["pack", *paths, str(archive), "--idx", "12"]) == 0
+        assert "packed 3 frames" in capsys.readouterr().out
+        out = tmp_path / "frame.npy"
+        assert main(["extract", str(archive), "1", str(out)]) == 0
+        recon = np.load(out)
+        t = (frames[1].max() - frames[1].min()) / 2**12
+        assert np.abs(recon - frames[1]).max() <= t
+        # negative index pulls the final frame
+        assert main(["extract", str(archive), "-1", str(out)]) == 0
+        t2 = (frames[2].max() - frames[2].min()) / 2**12
+        assert np.abs(np.load(out) - frames[2]).max() <= t2
+
+    def test_extract_bad_index(self, tmp_path, capsys):
+        p = tmp_path / "f.npy"
+        np.save(p, spectral_field((8, 8), slope=2.0, seed=0))
+        archive = tmp_path / "a.sperrs"
+        main(["pack", str(p), str(archive), "--idx", "8"])
+        capsys.readouterr()
+        assert main(["extract", str(archive), "5", str(tmp_path / "o.npy")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compare_subcommand(self, npy_field, capsys):
+        path, _ = npy_field
+        assert main([
+            "compare", str(path), "--idx", "10",
+            "--compressors", "sperr,zfp-like",
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "sperr" in printed and "zfp-like" in printed
+        assert "bound ok" in printed
+
+    def test_compare_unknown_compressor_rejected(self, npy_field, capsys):
+        path, _ = npy_field
+        assert main(["compare", str(path), "--compressors", "gzip"]) == 1
+        assert "unknown compressor" in capsys.readouterr().err
+
+    def test_wavelet_choice(self, npy_field, tmp_path):
+        path, data = npy_field
+        out = tmp_path / "f.sperr"
+        back = tmp_path / "b.npy"
+        assert main([
+            "compress", str(path), str(out), "--idx", "10", "--wavelet", "cdf53",
+        ]) == 0
+        assert main(["decompress", str(out), str(back)]) == 0
+        t = (data.max() - data.min()) / 2**10
+        assert np.abs(np.load(back) - data).max() <= t

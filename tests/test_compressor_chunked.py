@@ -1,0 +1,73 @@
+"""The chunk-parallel adapter for baseline compressors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors import (
+    ChunkedCompressor,
+    MgardLikeCompressor,
+    PsnrMode,
+    SzLikeCompressor,
+    TthreshLikeCompressor,
+    ZfpLikeCompressor,
+)
+from repro.core.modes import PweMode, SizeMode
+from repro.errors import InvalidArgumentError, StreamFormatError, UnsupportedModeError
+from repro.metrics import psnr
+
+
+class TestChunkedCompressor:
+    @pytest.mark.parametrize(
+        "inner_cls", [SzLikeCompressor, ZfpLikeCompressor, MgardLikeCompressor]
+    )
+    def test_error_bound_preserved(self, inner_cls, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**14
+        c = ChunkedCompressor(inner_cls(), chunk_shape=10)
+        recon = c.decompress(c.compress(smooth_field, PweMode(t)))
+        assert np.abs(recon - smooth_field).max() <= t
+
+    def test_threaded_matches_serial(self, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**12
+        serial = ChunkedCompressor(SzLikeCompressor(), 10)
+        threaded = ChunkedCompressor(SzLikeCompressor(), 10, executor="thread", workers=4)
+        assert serial.compress(smooth_field, PweMode(t)) == threaded.compress(
+            smooth_field, PweMode(t)
+        )
+
+    def test_psnr_inner(self, smooth_field):
+        c = ChunkedCompressor(TthreshLikeCompressor(), 12)
+        recon = c.decompress(c.compress(smooth_field, PsnrMode(60.0)))
+        assert psnr(smooth_field, recon) >= 58.0
+
+    def test_mode_checks_delegated(self, smooth_field):
+        c = ChunkedCompressor(SzLikeCompressor(), 8)
+        with pytest.raises(UnsupportedModeError):
+            c.compress(smooth_field, SizeMode(bpp=2.0))
+
+    def test_non_divisible_chunks(self, rng):
+        data = rng.standard_normal((23, 17)).cumsum(axis=0)
+        t = (data.max() - data.min()) / 2**10
+        c = ChunkedCompressor(ZfpLikeCompressor(), (8, 8))
+        recon = c.decompress(c.compress(data, PweMode(t)))
+        assert recon.shape == data.shape
+        assert np.abs(recon - data).max() <= t
+
+    def test_nesting_rejected(self):
+        inner = ChunkedCompressor(SzLikeCompressor(), 8)
+        with pytest.raises(InvalidArgumentError):
+            ChunkedCompressor(inner, 8)
+
+    def test_name_reflects_wrapping(self):
+        c = ChunkedCompressor(ZfpLikeCompressor(), 8)
+        assert c.name == "zfp-like+chunks"
+
+    def test_corrupt_payload_rejected(self, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**10
+        c = ChunkedCompressor(SzLikeCompressor(), 10)
+        payload = c.compress(smooth_field, PweMode(t))
+        with pytest.raises(StreamFormatError):
+            c.decompress(b"XXXX" + payload[4:])
+        with pytest.raises((StreamFormatError, Exception)):
+            c.decompress(payload[: len(payload) // 3])

@@ -1,0 +1,106 @@
+"""The Lorenzo predictor path of the SZ-like baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors.szlike import SzLikeCompressor
+from repro.compressors.szlike.lorenzo import (
+    lorenzo_decode,
+    lorenzo_encode,
+    wavefronts,
+)
+from repro.core.modes import PweMode
+from repro.errors import InvalidArgumentError
+
+
+class TestWavefronts:
+    @pytest.mark.parametrize("shape", [(7,), (5, 8), (3, 4, 5)])
+    def test_partition_every_point_once(self, shape):
+        seen = np.zeros(shape, dtype=int)
+        for front in wavefronts(shape):
+            seen[front] += 1
+        assert np.all(seen == 1)
+
+    def test_ascending_diagonals(self):
+        fronts = wavefronts((4, 4))
+        sums = [int(f[0][0] + f[1][0]) for f in fronts]
+        assert sums == sorted(sums)
+        assert len(fronts) == 7  # s = 0..6
+
+    def test_dependency_order(self):
+        """Every stencil neighbour of a wavefront lies on an earlier one."""
+        shape = (5, 6)
+        rank = np.zeros(shape, dtype=int)
+        for s, front in enumerate(wavefronts(shape)):
+            rank[front] = s
+        for i in range(1, 5):
+            for j in range(1, 6):
+                assert rank[i - 1, j] < rank[i, j]
+                assert rank[i, j - 1] < rank[i, j]
+                assert rank[i - 1, j - 1] < rank[i, j]
+
+    def test_4d_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            wavefronts((2, 2, 2, 2))
+
+
+class TestLorenzoCodec:
+    @pytest.mark.parametrize("shape", [(40,), (12, 17), (7, 9, 8)])
+    def test_round_trip_error_bound(self, shape, rng):
+        data = rng.standard_normal(shape).cumsum(axis=-1)
+        t = (data.max() - data.min()) / 2**14
+        out = lorenzo_decode(shape, t, *lorenzo_encode(data, t))
+        assert np.abs(out - data).max() <= t
+
+    def test_exactly_predictable_data_costs_nothing(self):
+        """A bilinear ramp is reproduced exactly by the Lorenzo stencil
+        (its second mixed differences vanish), so all bins are zero."""
+        i, j = np.meshgrid(np.arange(16.0), np.arange(16.0), indexing="ij")
+        data = 3.0 * i + 2.0 * j + 5.0
+        codes, escape, wide, exact = lorenzo_encode(data, 1e-6)
+        interior = codes.size - (16 + 16 - 1)  # first row/col carry ramps
+        assert np.count_nonzero(codes) <= codes.size - interior + 8
+        assert exact.size == 0
+
+    def test_escape_paths(self, rng):
+        """Huge dynamic range forces wide codes and exact storage."""
+        data = rng.standard_normal((10, 10))
+        data[5, 5] = 1e9  # violent spike
+        t = 1e-7
+        codes, escape, wide, exact = lorenzo_encode(data, t)
+        assert escape.any()
+        out = lorenzo_decode(data.shape, t, codes, escape, wide, exact)
+        assert np.abs(out - data).max() <= t
+
+
+class TestLorenzoCompressor:
+    @pytest.mark.parametrize("idx", [8, 16, 28])
+    def test_strict_bound(self, idx, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**idx
+        c = SzLikeCompressor(interpolation="lorenzo")
+        recon = c.decompress(c.compress(smooth_field, PweMode(t)))
+        assert np.abs(recon - smooth_field).max() <= t
+
+    def test_payload_self_describes_predictor(self, smooth_field):
+        """A Lorenzo payload decodes with any SzLikeCompressor instance."""
+        t = (smooth_field.max() - smooth_field.min()) / 2**10
+        payload = SzLikeCompressor(interpolation="lorenzo").compress(
+            smooth_field, PweMode(t)
+        )
+        recon = SzLikeCompressor(interpolation="cubic").decompress(payload)
+        assert np.abs(recon - smooth_field).max() <= t
+
+    def test_smooth_data_compresses(self, rng):
+        g = np.linspace(0, 1, 40)
+        data = np.outer(np.sin(2 * np.pi * g), np.cos(2 * np.pi * g))
+        t = (data.max() - data.min()) / 2**10
+        payload = SzLikeCompressor(interpolation="lorenzo").compress(data, PweMode(t))
+        assert 8 * len(payload) / data.size < 6.0
+
+    def test_rough_data_bound_holds(self, rough_field):
+        t = (rough_field.max() - rough_field.min()) / 2**20
+        c = SzLikeCompressor(interpolation="lorenzo")
+        recon = c.decompress(c.compress(rough_field, PweMode(t)))
+        assert np.abs(recon - rough_field).max() <= t

@@ -1,0 +1,98 @@
+"""MGARD-like baseline: hierarchy substrate and error-bounded codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors import MgardLikeCompressor
+from repro.compressors.mgardlike import (
+    coefficient_levels,
+    decompose,
+    level_schedule,
+    reconstruct,
+)
+from repro.core.modes import PweMode, SizeMode
+from repro.errors import InvalidArgumentError, UnsupportedModeError
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("shape", [(16,), (17,), (12, 20), (9, 9), (8, 10, 6)])
+    def test_perfect_reconstruction(self, shape, rng):
+        x = rng.standard_normal(shape)
+        coeffs, levels = decompose(x)
+        np.testing.assert_allclose(reconstruct(coeffs, levels), x, atol=1e-10)
+
+    def test_linear_signals_have_zero_details(self):
+        """Piecewise-linear basis: a linear ramp has no detail content."""
+        x = np.linspace(0.0, 5.0, 33)
+        coeffs, levels = decompose(x)
+        n_coarse = 33
+        for _ in range(levels):
+            n_coarse = (n_coarse + 1) // 2
+        details = coeffs[n_coarse:]
+        # interior details vanish; boundary fallback leaves small residue
+        assert np.abs(details).max() < 0.5
+        assert np.median(np.abs(details)) < 1e-10
+
+    def test_level_schedule(self):
+        assert level_schedule((64,)) >= 3
+        assert level_schedule((4,)) == 0
+        assert level_schedule((64, 1, 1)) >= 3
+
+    def test_coefficient_levels_partition(self):
+        shape = (16, 16)
+        levels = level_schedule(shape)
+        lm = coefficient_levels(shape, levels)
+        assert lm.min() == 0 and lm.max() == levels
+        # finest level holds the majority of coefficients
+        assert np.sum(lm == 0) > lm.size / 2
+
+    def test_4d_rejected(self, rng):
+        with pytest.raises(InvalidArgumentError):
+            decompose(rng.standard_normal((2, 2, 2, 2)))
+
+
+class TestMgardLikeCompressor:
+    @pytest.mark.parametrize("idx", [8, 14, 20])
+    def test_error_bound(self, idx, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**idx
+        c = MgardLikeCompressor()
+        recon = c.decompress(c.compress(smooth_field, PweMode(t)))
+        assert np.abs(recon - smooth_field).max() <= t
+
+    def test_error_bound_rough(self, rough_field):
+        t = (rough_field.max() - rough_field.min()) / 2**16
+        c = MgardLikeCompressor()
+        recon = c.decompress(c.compress(rough_field, PweMode(t)))
+        assert np.abs(recon - rough_field).max() <= t
+
+    @pytest.mark.parametrize("shape", [(50,), (15, 25), (8, 12, 10)])
+    def test_all_ranks(self, shape, rng):
+        data = rng.standard_normal(shape).cumsum(axis=-1)
+        t = (data.max() - data.min()) / 2**10
+        c = MgardLikeCompressor()
+        recon = c.decompress(c.compress(data, PweMode(t)))
+        assert recon.shape == shape
+        assert np.abs(recon - data).max() <= t
+
+    def test_looser_tolerance_fewer_bits(self, smooth_field):
+        c = MgardLikeCompressor()
+        rng_ = smooth_field.max() - smooth_field.min()
+        loose = c.compress(smooth_field, PweMode(rng_ / 2**8))
+        tight = c.compress(smooth_field, PweMode(rng_ / 2**20))
+        assert len(loose) < len(tight)
+
+    def test_size_mode_unsupported(self, smooth_field):
+        with pytest.raises(UnsupportedModeError):
+            MgardLikeCompressor().compress(smooth_field, SizeMode(bpp=2.0))
+
+    def test_constant_field(self):
+        data = np.full((16, 16), 1.5)
+        c = MgardLikeCompressor()
+        recon = c.decompress(c.compress(data, PweMode(1e-9)))
+        assert np.abs(recon - data).max() <= 1e-9
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            MgardLikeCompressor().compress(np.full((4, 4), np.nan), PweMode(0.1))

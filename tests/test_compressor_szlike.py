@@ -1,0 +1,182 @@
+"""SZ3-like baseline: predictor, quantizer, bin codec, full compressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors.szlike import (
+    QUANT_RADIUS,
+    SzLikeCompressor,
+    coarse_indices,
+    decode_bins,
+    dequantize_codes,
+    encode_bins,
+    interpolation_schedule,
+    predict,
+    quantize_residuals,
+)
+from repro.core.modes import PweMode, SizeMode
+from repro.errors import InvalidArgumentError, UnsupportedModeError
+
+
+class TestSchedule:
+    def test_covers_every_point_once(self):
+        shape = (13, 9)
+        seen = np.zeros(shape, dtype=int)
+        ci = coarse_indices(shape)
+        seen[np.ix_(*ci)] += 1
+        for step in interpolation_schedule(shape):
+            seen[np.ix_(*step.grids)] += 1
+        assert np.all(seen == 1)
+
+    @pytest.mark.parametrize("shape", [(7,), (16,), (8, 12), (9, 5, 7)])
+    def test_coverage_many_shapes(self, shape):
+        seen = np.zeros(shape, dtype=int)
+        seen[np.ix_(*coarse_indices(shape))] += 1
+        for step in interpolation_schedule(shape):
+            seen[np.ix_(*step.grids)] += 1
+        assert np.all(seen == 1)
+
+    def test_neighbors_always_known(self):
+        """Every prediction step may only read already-reconstructed points."""
+        shape = (11, 6)
+        known = np.zeros(shape, dtype=bool)
+        known[np.ix_(*coarse_indices(shape))] = True
+        marker = np.where(known, 1.0, np.nan)
+        for step in interpolation_schedule(shape):
+            pred = predict(marker, step, kind="cubic")
+            assert np.all(np.isfinite(pred)), f"unknown neighbor at {step}"
+            marker[np.ix_(*step.grids)] = 1.0
+
+    def test_deterministic(self):
+        s1 = interpolation_schedule((10, 10))
+        s2 = interpolation_schedule((10, 10))
+        assert len(s1) == len(s2)
+        for a, b in zip(s1, s2):
+            assert a.level_stride == b.level_stride and a.axis == b.axis
+
+
+class TestPredictor:
+    def test_linear_exact_on_linear_signal(self):
+        x = np.linspace(0.0, 10.0, 17)
+        recon = x.copy()
+        for step in interpolation_schedule(x.shape):
+            pred = predict(recon, step, kind="linear")
+            interior = step.grids[0] + step.stride <= x.size - 1
+            np.testing.assert_allclose(pred[interior], x[step.grids[0]][interior], atol=1e-12)
+
+    def test_cubic_beats_linear_on_smooth_curve(self):
+        g = np.linspace(0, 1, 65)
+        x = np.sin(2 * np.pi * g)
+        err = {}
+        for kind in ("linear", "cubic"):
+            total = 0.0
+            for step in interpolation_schedule(x.shape):
+                if step.level_stride > 4:
+                    continue
+                pred = predict(x, step, kind=kind)
+                total += float(np.sum((pred - x[step.grids[0]]) ** 2))
+            err[kind] = total
+        assert err["cubic"] < err["linear"]
+
+    def test_unknown_kind_rejected(self):
+        step = interpolation_schedule((8,))[0]
+        with pytest.raises(InvalidArgumentError):
+            predict(np.zeros(8), step, kind="spline9")
+
+
+class TestBinCodec:
+    def test_quantize_error_bound(self, rng):
+        t = 0.01
+        r = rng.standard_normal(1000) * 10 * t
+        codes, escape = quantize_residuals(r, t)
+        rec = dequantize_codes(codes, t)
+        assert np.abs(rec[~escape] - r[~escape]).max() <= t * (1 + 1e-9)
+
+    def test_escape_on_overflow(self):
+        t = 1e-6
+        r = np.array([0.0, QUANT_RADIUS * 2 * t * 2])
+        codes, escape = quantize_residuals(r, t)
+        assert escape.tolist() == [False, True]
+        assert codes[1] == 0
+
+    def test_bins_round_trip(self, rng):
+        codes = rng.integers(-100, 100, size=5000)
+        escape = rng.random(5000) < 0.01
+        codes[escape] = 0
+        payload = encode_bins(codes, escape)
+        out_codes, out_escape = decode_bins(payload)
+        assert np.array_equal(out_codes, codes)
+        assert np.array_equal(out_escape, escape)
+
+    def test_bins_compress_peaked_distribution(self, rng):
+        codes = np.clip(np.rint(rng.standard_normal(20000) * 2), -100, 100).astype(np.int64)
+        payload = encode_bins(codes)
+        assert len(payload) < 20000 * 2  # far below 16-bit raw storage
+
+    def test_empty_bins(self):
+        payload = encode_bins(np.zeros(0, dtype=np.int64))
+        codes, escape = decode_bins(payload)
+        assert codes.size == 0 and escape.size == 0
+
+    def test_out_of_range_code_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            encode_bins(np.array([QUANT_RADIUS]))
+
+
+class TestSzLikeCompressor:
+    @pytest.mark.parametrize("idx", [8, 16, 24])
+    def test_error_bound_strict(self, idx, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**idx
+        c = SzLikeCompressor()
+        recon = c.decompress(c.compress(smooth_field, PweMode(t)))
+        assert np.abs(recon - smooth_field).max() <= t
+
+    def test_error_bound_on_rough_data(self, rough_field):
+        t = (rough_field.max() - rough_field.min()) / 2**20
+        c = SzLikeCompressor()
+        recon = c.decompress(c.compress(rough_field, PweMode(t)))
+        assert np.abs(recon - rough_field).max() <= t
+
+    @pytest.mark.parametrize("shape", [(50,), (17, 23), (9, 8, 11)])
+    def test_all_ranks(self, shape, rng):
+        data = rng.standard_normal(shape).cumsum(axis=-1)
+        t = (data.max() - data.min()) / 2**12
+        c = SzLikeCompressor()
+        recon = c.decompress(c.compress(data, PweMode(t)))
+        assert recon.shape == shape
+        assert np.abs(recon - data).max() <= t
+
+    def test_linear_interpolation_variant(self, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**12
+        c = SzLikeCompressor(interpolation="linear")
+        recon = c.decompress(c.compress(smooth_field, PweMode(t)))
+        assert np.abs(recon - smooth_field).max() <= t
+
+    def test_smooth_data_compresses_well(self, rng):
+        g = np.linspace(0, 1, 48)
+        data = np.sin(2 * np.pi * g)[:, None] * np.cos(2 * np.pi * g)[None, :]
+        t = (data.max() - data.min()) / 2**10
+        payload = SzLikeCompressor().compress(data, PweMode(t))
+        assert 8 * len(payload) / data.size < 4.0  # well under 4 bpp
+
+    def test_size_mode_unsupported(self, smooth_field):
+        with pytest.raises(UnsupportedModeError):
+            SzLikeCompressor().compress(smooth_field, SizeMode(bpp=2.0))
+
+    def test_nan_rejected(self):
+        data = np.zeros((8, 8))
+        data[2, 2] = np.inf
+        with pytest.raises(InvalidArgumentError):
+            SzLikeCompressor().compress(data, PweMode(0.1))
+
+    def test_invalid_interpolation_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            SzLikeCompressor(interpolation="quintic")
+
+    def test_constant_field(self):
+        data = np.full((12, 12), 7.0)
+        c = SzLikeCompressor()
+        recon = c.decompress(c.compress(data, PweMode(1e-9)))
+        assert np.abs(recon - data).max() <= 1e-9

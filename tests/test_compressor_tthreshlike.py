@@ -1,0 +1,120 @@
+"""TTHRESH-like baseline: HOSVD substrate and PSNR-targeted codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors import PsnrMode, TthreshLikeCompressor, psnr_target_for_idx
+from repro.compressors.tthreshlike import hosvd, mode_product, tucker_reconstruct
+from repro.core.modes import PweMode
+from repro.errors import InvalidArgumentError, UnsupportedModeError
+from repro.metrics import GAIN_DB_PER_BIT, psnr
+
+
+class TestHosvd:
+    def test_exact_reconstruction(self, rng):
+        x = rng.standard_normal((8, 10, 6))
+        core, factors = hosvd(x)
+        np.testing.assert_allclose(tucker_reconstruct(core, factors), x, atol=1e-10)
+
+    def test_factors_orthogonal(self, rng):
+        x = rng.standard_normal((8, 8, 8))
+        _, factors = hosvd(x)
+        for u in factors:
+            np.testing.assert_allclose(u.T @ u, np.eye(u.shape[1]), atol=1e-10)
+
+    def test_energy_preserved(self, rng):
+        """Orthogonality => core carries exactly the input energy, the
+        property the PSNR calibration relies on."""
+        x = rng.standard_normal((6, 9, 5))
+        core, _ = hosvd(x)
+        assert np.sum(core**2) == pytest.approx(np.sum(x**2))
+
+    def test_core_energy_compacted(self):
+        g = np.linspace(0, 1, 16)
+        x = np.outer(np.sin(g), np.cos(g))[:, :, None] * g[None, None, :]
+        core, _ = hosvd(x)
+        mags = np.sort(np.abs(core.ravel()))[::-1]
+        assert np.sum(mags[:8] ** 2) > 0.999 * np.sum(mags**2)
+
+    def test_2d_matches_svd(self, rng):
+        x = rng.standard_normal((12, 7))
+        core, factors = hosvd(x)
+        s = np.linalg.svd(x, compute_uv=False)
+        core_norms = np.sqrt(np.sum(core**2, axis=1))
+        np.testing.assert_allclose(np.sort(core_norms)[::-1][: s.size], s, atol=1e-8)
+
+    def test_mode_product_shapes(self, rng):
+        x = rng.standard_normal((4, 5, 6))
+        m = rng.standard_normal((3, 5))
+        out = mode_product(x, m, 1)
+        assert out.shape == (4, 3, 6)
+
+    def test_4d_rejected(self, rng):
+        with pytest.raises(InvalidArgumentError):
+            hosvd(rng.standard_normal((2, 2, 2, 2)))
+
+
+class TestTthreshLikeCompressor:
+    @pytest.mark.parametrize("target", [40.0, 70.0, 100.0])
+    def test_psnr_target_met(self, target, smooth_field):
+        c = TthreshLikeCompressor()
+        recon = c.decompress(c.compress(smooth_field, PsnrMode(target)))
+        achieved = psnr(smooth_field, recon)
+        assert achieved >= target - 1.0  # calibration tolerance
+        assert achieved <= target + 25.0  # not wildly overshooting
+
+    def test_higher_target_more_bits(self, smooth_field):
+        c = TthreshLikeCompressor()
+        p1 = c.compress(smooth_field, PsnrMode(40.0))
+        p2 = c.compress(smooth_field, PsnrMode(100.0))
+        assert len(p2) > len(p1)
+
+    def test_idx_to_psnr_mapping(self):
+        """Sec. VI-C: PSNR = (20 log10 2) * idx; each idx halves RMSE."""
+        assert psnr_target_for_idx(20) == pytest.approx(120.41, abs=0.01)
+        assert psnr_target_for_idx(40) == pytest.approx(240.82, abs=0.01)
+        assert psnr_target_for_idx(1) == pytest.approx(GAIN_DB_PER_BIT)
+        with pytest.raises(InvalidArgumentError):
+            psnr_target_for_idx(0)
+
+    def test_pwe_mode_unsupported(self, smooth_field):
+        """The paper: TTHRESH has no error-bounded mode (excluded from Fig. 9)."""
+        with pytest.raises(UnsupportedModeError):
+            TthreshLikeCompressor().compress(smooth_field, PweMode(0.1))
+
+    @pytest.mark.parametrize("shape", [(40,), (16, 20)])
+    def test_lower_ranks(self, shape, rng):
+        data = rng.standard_normal(shape).cumsum(axis=-1)
+        c = TthreshLikeCompressor()
+        recon = c.decompress(c.compress(data, PsnrMode(60.0)))
+        assert recon.shape == shape
+        assert psnr(data, recon) >= 59.0
+
+    def test_low_rank_data_compresses_extremely_well(self, rng):
+        """Tucker shines on (near) low-rank data — TTHRESH's home turf.
+        The core of a rank-2 tensor is nearly empty, so the payload is
+        dominated by the (fixed-cost) factor matrices and is far smaller
+        than for full-rank noise at the same target."""
+        u = rng.standard_normal((24, 2))
+        v = rng.standard_normal((24, 2))
+        w = rng.standard_normal((24, 2))
+        data = np.einsum("ir,jr,kr->ijk", u, v, w)
+        noise = rng.standard_normal(data.shape)
+        c = TthreshLikeCompressor()
+        low = c.compress(data, PsnrMode(80.0))
+        full = c.compress(noise, PsnrMode(80.0))
+        assert len(low) < len(full) / 2
+        factor_bytes = 3 * 24 * 24 * 4  # float32 factors dominate
+        assert len(low) < factor_bytes * 1.5
+
+    def test_constant_field(self):
+        data = np.full((8, 8, 8), 5.0)
+        c = TthreshLikeCompressor()
+        recon = c.decompress(c.compress(data, PsnrMode(60.0)))
+        assert np.abs(recon - data).max() < 1.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            TthreshLikeCompressor().compress(np.full((4, 4), np.nan), PsnrMode(50.0))

@@ -1,0 +1,141 @@
+"""ZFP-like baseline: transform, negabinary, block codec, modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors.zfplike import (
+    ZfpLikeCompressor,
+    from_negabinary,
+    fwd_lift,
+    inv_lift,
+    permutation,
+    to_negabinary,
+)
+from repro.compressors.zfplike.zfp import _blockify, _unblockify
+from repro.core.modes import PweMode, SizeMode
+from repro.errors import InvalidArgumentError
+
+
+class TestTransform:
+    @pytest.mark.parametrize("nd", [1, 2, 3])
+    def test_lift_nearly_invertible(self, nd, rng):
+        """zfp's integer lift drops a few LSBs by design; at 2^50 scale
+        the round-trip error must stay within a few dozen units."""
+        b = rng.integers(-(2**50), 2**50, size=(32,) + (4,) * nd).astype(np.int64)
+        c = b.copy()
+        fwd_lift(c)
+        d = c.copy()
+        inv_lift(d)
+        assert np.abs(d - b).max() < 64
+
+    @pytest.mark.parametrize("nd", [1, 2, 3])
+    def test_lift_never_overflows(self, nd, rng):
+        b = rng.integers(-(2**57), 2**57, size=(16,) + (4,) * nd).astype(np.int64)
+        c = b.copy()
+        fwd_lift(c)
+        assert np.abs(c).max() < 2**60  # within the guard-bit headroom
+
+    def test_lift_decorrelates_smooth_block(self):
+        ramp = np.arange(64, dtype=np.int64).reshape(1, 4, 4, 4) * (1 << 40)
+        c = ramp.copy()
+        fwd_lift(c)
+        flat = np.abs(c.reshape(-1)[permutation(3)])
+        # energy concentrates in the leading (low-sequency) coefficients
+        assert flat[:8].sum() > 10 * flat[8:].sum()
+
+    def test_negabinary_round_trip(self, rng):
+        i = rng.integers(-(2**60), 2**60, size=1000).astype(np.int64)
+        assert np.array_equal(from_negabinary(to_negabinary(i)), i)
+
+    def test_negabinary_sign_free(self):
+        u = to_negabinary(np.array([-5, 5], dtype=np.int64))
+        assert np.all(u > 0)
+
+    @pytest.mark.parametrize("nd", [1, 2, 3])
+    def test_permutation_is_bijective(self, nd):
+        p = permutation(nd)
+        assert sorted(p.tolist()) == list(range(4**nd))
+
+    def test_permutation_orders_by_sequency(self):
+        p = permutation(2)
+        coords = np.indices((4, 4)).reshape(2, -1).T
+        degrees = coords[p].sum(axis=1)
+        assert np.all(np.diff(degrees) >= 0)
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            fwd_lift(np.zeros((2, 4), dtype=np.float64))
+
+
+class TestBlockify:
+    @pytest.mark.parametrize("shape", [(8,), (7,), (8, 12), (9, 5), (8, 8, 8), (6, 7, 9)])
+    def test_round_trip(self, shape, rng):
+        data = rng.standard_normal(shape)
+        blocks, padded, grid = _blockify(data)
+        assert blocks.shape[1:] == (4,) * len(shape)
+        out = _unblockify(blocks, shape, padded, grid)
+        np.testing.assert_array_equal(out, data)
+
+
+class TestZfpLikeCompressor:
+    @pytest.mark.parametrize("idx", [8, 16, 24])
+    def test_accuracy_mode_bound(self, idx, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**idx
+        c = ZfpLikeCompressor()
+        recon = c.decompress(c.compress(smooth_field, PweMode(t)))
+        assert np.abs(recon - smooth_field).max() <= t
+
+    def test_accuracy_mode_rough_field(self, rough_field):
+        t = (rough_field.max() - rough_field.min()) / 2**15
+        c = ZfpLikeCompressor()
+        recon = c.decompress(c.compress(rough_field, PweMode(t)))
+        assert np.abs(recon - rough_field).max() <= t
+
+    @pytest.mark.parametrize("bpp", [1.0, 4.0, 16.0])
+    def test_fixed_rate_hits_budget(self, bpp, smooth_field):
+        c = ZfpLikeCompressor()
+        payload = c.compress(smooth_field, SizeMode(bpp=bpp))
+        actual = 8 * len(payload) / smooth_field.size
+        assert actual <= bpp * 1.05 + 0.2  # header amortized
+        recon = c.decompress(payload)
+        assert recon.shape == smooth_field.shape
+
+    def test_more_rate_less_error(self, smooth_field):
+        c = ZfpLikeCompressor()
+        errs = []
+        for bpp in (2.0, 8.0, 16.0):
+            recon = c.decompress(c.compress(smooth_field, SizeMode(bpp=bpp)))
+            errs.append(float(np.sqrt(np.mean((recon - smooth_field) ** 2))))
+        assert errs[0] > errs[1] > errs[2]
+
+    @pytest.mark.parametrize("shape", [(40,), (18, 22), (9, 6, 11)])
+    def test_all_ranks(self, shape, rng):
+        data = rng.standard_normal(shape).cumsum(axis=-1)
+        t = (data.max() - data.min()) / 2**12
+        c = ZfpLikeCompressor()
+        recon = c.decompress(c.compress(data, PweMode(t)))
+        assert recon.shape == shape
+        assert np.abs(recon - data).max() <= t
+
+    def test_zero_blocks_cheap(self):
+        data = np.zeros((16, 16, 16))
+        data[0, 0, 0] = 1.0
+        c = ZfpLikeCompressor()
+        payload = c.compress(data, PweMode(1e-6))
+        # all-zero blocks cost one bit each
+        assert 8 * len(payload) / data.size < 1.0
+        recon = c.decompress(payload)
+        assert np.abs(recon - data).max() <= 1e-6
+
+    def test_constant_field(self):
+        data = np.full((8, 8, 8), -3.25)
+        c = ZfpLikeCompressor()
+        recon = c.decompress(c.compress(data, PweMode(1e-9)))
+        assert np.abs(recon - data).max() <= 1e-9
+
+    def test_nan_rejected(self):
+        data = np.full((8, 8), np.nan)
+        with pytest.raises(InvalidArgumentError):
+            ZfpLikeCompressor().compress(data, PweMode(0.1))

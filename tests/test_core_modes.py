@@ -1,0 +1,66 @@
+"""Compression modes and the Table I tolerance translation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.modes import Q_FACTOR, PweMode, SizeMode, data_range, tolerance_from_idx
+from repro.errors import InvalidArgumentError
+
+
+class TestTableI:
+    def test_translation_formula(self):
+        """Table I: t = Range / 2**idx."""
+        rng = 1024.0
+        assert tolerance_from_idx(rng, 10) == rng / 2**10
+        assert tolerance_from_idx(rng, 20) == rng / 2**20
+        assert tolerance_from_idx(rng, 30) == rng / 2**30
+        assert tolerance_from_idx(rng, 40) == rng / 2**40
+
+    def test_intuitive_magnitudes(self):
+        """idx=10 is ~1e-3 of the range, idx=20 ~1e-6, etc. (Table I)."""
+        for idx, approx in ((10, 1e-3), (20, 1e-6), (30, 1e-9), (40, 1e-12)):
+            t = tolerance_from_idx(1.0, idx)
+            assert 0.5 * approx < t < 2.0 * approx
+
+    def test_from_array(self):
+        data = np.array([2.0, -6.0, 1.0])
+        assert tolerance_from_idx(data, 3) == 8.0 / 8.0
+
+    def test_constant_field_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            tolerance_from_idx(np.zeros(10), 10)
+
+    def test_negative_idx_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            tolerance_from_idx(1.0, -1)
+
+
+class TestModes:
+    def test_default_q_factor_is_one_point_five(self):
+        """Sec. IV-D: SPERR conservatively chooses q = 1.5t."""
+        assert Q_FACTOR == 1.5
+        assert PweMode(2.0).q == 3.0
+
+    def test_custom_q_factor(self):
+        assert PweMode(1.0, q_factor=1.8).q == 1.8
+
+    def test_invalid_tolerance_rejected(self):
+        for t in (0.0, -1.0, np.nan, np.inf):
+            with pytest.raises(InvalidArgumentError):
+                PweMode(t)
+
+    def test_invalid_q_factor_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            PweMode(1.0, q_factor=0.0)
+
+    def test_invalid_bpp_rejected(self):
+        for b in (0.0, -2.0, np.inf):
+            with pytest.raises(InvalidArgumentError):
+                SizeMode(b)
+
+    def test_data_range(self):
+        assert data_range(np.array([-1.0, 4.0])) == 5.0
+        with pytest.raises(InvalidArgumentError):
+            data_range(np.zeros(0))

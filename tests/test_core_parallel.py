@@ -1,0 +1,54 @@
+"""The chunk-parallel executor (OpenMP substitute, Sec. III-D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parallel import EXECUTORS, chunk_map, default_workers
+from repro.errors import InvalidArgumentError
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestChunkMap:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_preserves_order(self, executor):
+        items = list(range(20))
+        out = chunk_map(_square, items, executor=executor, workers=4)
+        assert out == [x * x for x in items]
+
+    def test_process_executor(self):
+        out = chunk_map(_square, [1, 2, 3], executor="process", workers=2)
+        assert out == [1, 4, 9]
+
+    def test_empty_input(self):
+        assert chunk_map(_square, []) == []
+
+    def test_single_item_stays_serial(self):
+        assert chunk_map(_square, [7], executor="thread", workers=8) == [49]
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            chunk_map(_square, [1], executor="openmp")
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            chunk_map(_square, [1, 2], executor="thread", workers=0)
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise ValueError("chunk failed")
+
+        with pytest.raises(ValueError):
+            chunk_map(boom, [1, 2], executor="thread", workers=2)
+
+    def test_executor_registry(self):
+        assert set(EXECUTORS) == {"serial", "thread", "process"}
+
+    def test_default_workers_leaves_headroom(self):
+        """Sec. V-D: leave a few cores for system processes."""
+        import os
+
+        assert default_workers() == max(1, (os.cpu_count() or 1) - 1)

@@ -1,0 +1,111 @@
+"""Per-chunk SPERR pipeline: compression, reports, stream format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitstream import HEADER_SIZE, ChunkHeader, ChunkParams
+from repro.core.modes import PweMode, SizeMode
+from repro.core.pipeline import compress_chunk, decompress_chunk
+from repro.errors import InvalidArgumentError, StreamFormatError
+
+
+class TestCompressChunk:
+    def test_pwe_round_trip(self, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**15
+        stream, report = compress_chunk(smooth_field, PweMode(t))
+        recon = decompress_chunk(stream, rank=3)
+        assert np.abs(recon - smooth_field).max() <= t
+        assert report.total_nbytes == len(stream)
+
+    def test_report_accounting(self, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**15
+        stream, report = compress_chunk(smooth_field, PweMode(t))
+        assert report.q == pytest.approx(1.5 * t)
+        assert report.npoints == smooth_field.size
+        assert report.bpp == pytest.approx(8 * len(stream) / smooth_field.size)
+        assert report.speck_bpp + report.outlier_bpp < report.bpp  # header overhead
+        assert set(report.timings) == {"transform", "speck", "locate", "outlier_code"}
+        assert all(v >= 0 for v in report.timings.values())
+
+    def test_stream_layout(self, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**12
+        stream, report = compress_chunk(smooth_field, PweMode(t))
+        header = ChunkHeader.unpack(stream)
+        params = ChunkParams.unpack(stream[HEADER_SIZE:])
+        assert header.shape == smooth_field.shape
+        assert header.pwe_mode
+        assert params.tolerance == t
+        expected = HEADER_SIZE + ChunkParams.SIZE + header.speck_nbytes + params.outlier_nbytes
+        assert len(stream) == expected
+
+    def test_size_mode_budget(self, rough_field):
+        stream, report = compress_chunk(rough_field, SizeMode(bpp=3.0))
+        assert report.bpp <= 3.0 + 0.1
+        recon = decompress_chunk(stream, rank=3)
+        assert recon.shape == rough_field.shape
+        # more budget must give lower error
+        stream2, _ = compress_chunk(rough_field, SizeMode(bpp=8.0))
+        recon2 = decompress_chunk(stream2, rank=3)
+        rmse = lambda a, b: np.sqrt(np.mean((a - b) ** 2))  # noqa: E731
+        assert rmse(recon2, rough_field) < rmse(recon, rough_field)
+
+    def test_outliers_present_on_rough_data(self, rough_field):
+        t = (rough_field.max() - rough_field.min()) / 2**18
+        _, report = compress_chunk(rough_field, PweMode(t))
+        assert report.n_outliers > 0
+        assert report.bits_per_outlier > 0
+        assert 0 < report.outlier_fraction < 1
+
+    def test_2d_and_1d_inputs(self, rng):
+        for shape in ((40, 30), (100,)):
+            data = rng.standard_normal(shape)
+            t = (data.max() - data.min()) / 2**12
+            stream, _ = compress_chunk(data, PweMode(t))
+            recon = decompress_chunk(stream, rank=len(shape))
+            assert recon.shape == shape
+            assert np.abs(recon - data).max() <= t
+
+    def test_rank_inference(self, rng):
+        data = rng.standard_normal((12, 10))
+        t = (data.max() - data.min()) / 2**10
+        stream, _ = compress_chunk(data, PweMode(t))
+        recon = decompress_chunk(stream)  # rank inferred from trailing 1s
+        assert recon.shape == (12, 10)
+
+    def test_constant_chunk(self):
+        data = np.full((16, 16), 2.5)
+        stream, report = compress_chunk(data, PweMode(1e-6))
+        recon = decompress_chunk(stream, rank=2)
+        assert np.abs(recon - data).max() <= 1e-6
+        assert report.n_outliers == 0
+
+    def test_alternate_wavelets(self, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**10
+        for wavelet in ("cdf53", "haar"):
+            stream, _ = compress_chunk(smooth_field, PweMode(t), wavelet=wavelet)
+            recon = decompress_chunk(stream, rank=3)
+            assert np.abs(recon - smooth_field).max() <= t
+
+    def test_forced_levels_round_trip(self, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**10
+        stream, _ = compress_chunk(smooth_field, PweMode(t), levels=1)
+        recon = decompress_chunk(stream, rank=3)
+        assert np.abs(recon - smooth_field).max() <= t
+
+    def test_nan_rejected(self):
+        data = np.zeros((8, 8))
+        data[0, 0] = np.nan
+        with pytest.raises(InvalidArgumentError):
+            compress_chunk(data, PweMode(0.1))
+
+    def test_4d_rejected(self, rng):
+        with pytest.raises(InvalidArgumentError):
+            compress_chunk(rng.standard_normal((4, 4, 4, 4)), PweMode(0.1))
+
+    def test_truncated_stream_rejected(self, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**10
+        stream, _ = compress_chunk(smooth_field, PweMode(t))
+        with pytest.raises(StreamFormatError):
+            decompress_chunk(stream[: HEADER_SIZE + 4], rank=3)

@@ -1,0 +1,120 @@
+"""Synthetic data sets: determinism, statistical character, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FIELDS,
+    get_field,
+    lighthouse,
+    nyx_dark_matter_density,
+    qmcpack_orbitals,
+    radial_wavenumber,
+    s3d_ch4,
+    s3d_temperature,
+    spectral_field,
+)
+from repro.errors import InvalidArgumentError
+
+
+class TestSpectralField:
+    def test_deterministic(self):
+        a = spectral_field((16, 16), slope=3.0, seed=7)
+        b = spectral_field((16, 16), slope=3.0, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_normalized(self):
+        f = spectral_field((64, 64), slope=2.0, seed=0)
+        assert abs(f.mean()) < 1e-10
+        assert f.std() == pytest.approx(1.0)
+
+    def test_slope_controls_smoothness(self):
+        """Steeper spectrum => smaller nearest-neighbour differences."""
+        rough = spectral_field((4096,), slope=0.5, seed=1)
+        smooth = spectral_field((4096,), slope=4.0, seed=1)
+        d_rough = np.abs(np.diff(rough)).mean()
+        d_smooth = np.abs(np.diff(smooth)).mean()
+        assert d_smooth < d_rough / 3
+
+    def test_radial_wavenumber_shape(self):
+        k = radial_wavenumber((8, 6))
+        assert k.shape == (8, 6)
+        assert k[0, 0] == 0.0
+
+    def test_tiny_axis_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            spectral_field((1, 16), slope=2.0)
+
+
+class TestFieldRegistry:
+    @pytest.mark.parametrize("name", sorted(FIELDS))
+    def test_every_field_generates(self, name):
+        shape = (12, 12, 12) if name != "qmcpack_orbitals" else (8, 8, 6)
+        data = get_field(name, shape=shape)
+        assert data.ndim == 3
+        assert np.all(np.isfinite(data))
+        assert data.max() > data.min()  # non-constant
+
+    @pytest.mark.parametrize("name", sorted(FIELDS))
+    def test_determinism(self, name):
+        shape = (8, 8, 8) if name != "qmcpack_orbitals" else (6, 6, 4)
+        np.testing.assert_array_equal(
+            get_field(name, shape=shape), get_field(name, shape=shape)
+        )
+
+    def test_seed_changes_field(self):
+        a = get_field("miranda_pressure", shape=(8, 8, 8), seed=1)
+        b = get_field("miranda_pressure", shape=(8, 8, 8), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            get_field("hurricane")
+
+    def test_nyx_heavy_tailed(self):
+        """Nyx DMD must be log-normal-ish: strongly right-skewed."""
+        d = nyx_dark_matter_density((24, 24, 24))
+        assert np.all(d > 0)
+        assert d.max() / np.median(d) > 20
+
+    def test_s3d_front_structure(self):
+        """CH4 is consumed across the front: near-max on one side, near
+        zero on the other."""
+        f = s3d_ch4((24, 24, 24))
+        left = f[:4].mean()
+        right = f[-4:].mean()
+        assert left > 10 * max(right, 1e-12)
+
+    def test_s3d_temperature_range(self):
+        t = s3d_temperature((16, 16, 16))
+        assert 500 < t.min() < 1200
+        assert 1800 < t.max() < 2600
+
+    def test_qmcpack_orbital_stacking(self):
+        v = qmcpack_orbitals((8, 8, 6), n_orbitals=3)
+        assert v.shape == (8, 8, 18)
+        with pytest.raises(InvalidArgumentError):
+            qmcpack_orbitals((8, 8, 6), n_orbitals=0)
+
+
+class TestLighthouse:
+    def test_shape_and_range(self):
+        img = lighthouse((64, 96))
+        assert img.shape == (64, 96)
+        assert img.min() >= 0.0 and img.max() <= 255.0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(lighthouse((64, 64)), lighthouse((64, 64)))
+
+    def test_has_high_contrast_edges(self):
+        """Tower stripes and fence must produce strong gradients — the
+        structure that generates outliers in Fig. 1."""
+        img = lighthouse((128, 192))
+        grad = np.abs(np.diff(img, axis=1)).max()
+        assert grad > 100
+
+    def test_too_small_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            lighthouse((16, 16))

@@ -1,0 +1,173 @@
+"""Lossless substrate: Huffman, RLE, LZ77, and the backend selector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import lossless
+from repro.errors import InvalidArgumentError, StreamFormatError
+from repro.lossless import huffman, lz77, rle
+
+
+class TestHuffman:
+    def test_round_trip_bytes(self, rng):
+        data = rng.integers(0, 256, size=5000).astype(np.uint8)
+        # skew the distribution so Huffman actually compresses
+        data[data < 128] = 7
+        code = huffman.build_code(np.bincount(data, minlength=256))
+        payload, nbits = huffman.encode(data, code)
+        out = huffman.decode(payload, nbits, data.size, code)
+        assert np.array_equal(out, data)
+        assert nbits < 8 * data.size  # must beat raw storage on skewed data
+
+    def test_single_symbol_alphabet(self):
+        data = np.full(100, 42, dtype=np.uint8)
+        code = huffman.build_code(np.bincount(data, minlength=256))
+        payload, nbits = huffman.encode(data, code)
+        assert nbits == 100  # one bit per symbol is the degenerate minimum
+        out = huffman.decode(payload, nbits, 100, code)
+        assert np.array_equal(out, data)
+
+    def test_empty_input(self):
+        code = huffman.build_code(np.zeros(256, dtype=np.int64))
+        payload, nbits = huffman.encode(np.zeros(0, dtype=np.uint8), code)
+        assert payload == b"" and nbits == 0
+        assert huffman.decode(b"", 0, 0, code).size == 0
+
+    def test_kraft_inequality_holds(self, rng):
+        freqs = rng.integers(0, 1000, size=300)
+        code = huffman.build_code(freqs)
+        used = code.lengths[code.lengths > 0].astype(np.float64)
+        assert np.sum(2.0**-used) <= 1.0 + 1e-12
+
+    def test_code_lengths_ordered_by_frequency(self):
+        freqs = np.array([1000, 100, 10, 1])
+        code = huffman.build_code(freqs)
+        lengths = code.lengths
+        assert lengths[0] <= lengths[1] <= lengths[2]
+
+    def test_symbol_without_code_rejected(self):
+        code = huffman.build_code(np.array([5, 5, 0]))
+        with pytest.raises(InvalidArgumentError):
+            huffman.encode(np.array([2]), code)
+
+    def test_codebook_serialization_round_trip(self, rng):
+        freqs = rng.integers(0, 50, size=256)
+        code = huffman.build_code(freqs)
+        blob = huffman.serialize_code(code)
+        restored, consumed = huffman.deserialize_code(blob + b"extra")
+        assert consumed == len(blob)
+        assert np.array_equal(restored.lengths, code.lengths)
+        assert np.array_equal(restored.codes, code.codes)
+
+    def test_truncated_codebook_rejected(self):
+        with pytest.raises(StreamFormatError):
+            huffman.deserialize_code(b"\x01")
+
+    def test_decode_truncated_stream_rejected(self, rng):
+        data = rng.integers(0, 4, size=64).astype(np.uint8)
+        code = huffman.build_code(np.bincount(data, minlength=256))
+        payload, nbits = huffman.encode(data, code)
+        with pytest.raises(StreamFormatError):
+            huffman.decode(payload, nbits, data.size + 10, code)
+
+    def test_large_alphabet(self, rng):
+        symbols = rng.integers(0, 60000, size=2000)
+        freqs = np.bincount(symbols, minlength=65536)
+        code = huffman.build_code(freqs)
+        payload, nbits = huffman.encode(symbols, code)
+        out = huffman.decode(payload, nbits, symbols.size, code)
+        assert np.array_equal(out, symbols)
+
+
+class TestRle:
+    def test_round_trip_runs(self):
+        data = b"\x00" * 1000 + b"\x01\x02\x03" + b"\xff" * 300
+        assert rle.decode(rle.encode(data)) == data
+        assert len(rle.encode(data)) < len(data)
+
+    def test_empty(self):
+        assert rle.decode(rle.encode(b"")) == b""
+
+    def test_run_longer_than_255(self):
+        data = b"a" * 1000
+        assert rle.decode(rle.encode(data)) == data
+
+    def test_incompressible_expands_but_round_trips(self, rng):
+        data = bytes(rng.integers(0, 256, size=500).astype(np.uint8))
+        assert rle.decode(rle.encode(data)) == data
+
+    def test_corrupt_stream_rejected(self):
+        with pytest.raises(StreamFormatError):
+            rle.decode(b"\x01")
+        with pytest.raises(StreamFormatError):
+            rle.decode(rle.encode(b"abc")[:-1])
+
+
+class TestLz77:
+    def test_round_trip_repetitive(self):
+        data = b"the quick brown fox " * 50
+        enc = lz77.encode(data)
+        assert lz77.decode(enc) == data
+        assert len(enc) < len(data)
+
+    def test_round_trip_random(self, rng):
+        data = bytes(rng.integers(0, 256, size=2000).astype(np.uint8))
+        assert lz77.decode(lz77.encode(data)) == data
+
+    def test_empty(self):
+        assert lz77.decode(lz77.encode(b"")) == b""
+
+    def test_overlapping_match(self):
+        data = b"abcabcabcabcabcabcabcabc"
+        assert lz77.decode(lz77.encode(data)) == data
+
+    def test_truncated_rejected(self):
+        with pytest.raises(StreamFormatError):
+            lz77.decode(b"\x00" * 8)
+
+
+class TestBackend:
+    @pytest.mark.parametrize("method", ["stored", "rle", "huffman", "rle+huffman", "lz77", "auto"])
+    def test_round_trip_all_methods(self, method, rng):
+        data = bytes(rng.integers(0, 8, size=3000).astype(np.uint8))
+        assert lossless.decompress(lossless.compress(data, method=method)) == data
+
+    def test_auto_never_worse_than_stored_plus_tag(self, rng):
+        data = bytes(rng.integers(0, 256, size=4096).astype(np.uint8))
+        assert len(lossless.compress(data, method="auto")) <= len(data) + 1
+
+    def test_auto_compresses_structured_data(self):
+        data = b"\x00" * 4000 + b"\x01" * 100
+        assert len(lossless.compress(data, method="auto")) < len(data) // 10
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(StreamFormatError):
+            lossless.decompress(b"")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            lossless.compress(b"abc", method="zstd")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(StreamFormatError):
+            lossless.decompress(bytes([200]) + b"xx")
+
+    def test_empty_data_round_trips(self):
+        for method in lossless.METHODS:
+            assert lossless.decompress(lossless.compress(b"", method=method)) == b""
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(max_size=1500))
+def test_backend_auto_round_trip_property(data):
+    assert lossless.decompress(lossless.compress(data, method="auto")) == data
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(max_size=600))
+def test_lz77_round_trip_property(data):
+    assert lz77.decode(lz77.encode(data)) == data

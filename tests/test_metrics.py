@@ -1,0 +1,114 @@
+"""Metrics: error measures, accuracy gain (Eq. 2), SSIM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.metrics import (
+    GAIN_DB_PER_BIT,
+    accuracy_gain,
+    accuracy_gain_from_stats,
+    bitrate_bpp,
+    max_pwe,
+    mse,
+    psnr,
+    rmse,
+    snr_db,
+    ssim,
+)
+
+
+class TestErrorMetrics:
+    def test_identical_arrays(self, rng):
+        x = rng.standard_normal(100)
+        assert mse(x, x) == 0.0
+        assert rmse(x, x) == 0.0
+        assert max_pwe(x, x) == 0.0
+        assert psnr(x, x) == np.inf
+        assert snr_db(x, x) == np.inf
+
+    def test_known_values(self):
+        a = np.array([0.0, 0.0, 0.0, 0.0])
+        b = np.array([1.0, -1.0, 1.0, -1.0])
+        assert mse(a, b) == 1.0
+        assert rmse(a, b) == 1.0
+        assert max_pwe(a, b) == 1.0
+
+    def test_psnr_uses_range(self):
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 10.0])
+        # rmse = 1/sqrt(2), range = 10
+        expected = 20 * np.log10(10.0 / (1.0 / np.sqrt(2.0)))
+        assert psnr(a, b) == pytest.approx(expected)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            rmse(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            mse(np.zeros(0), np.zeros(0))
+
+    def test_bitrate(self):
+        assert bitrate_bpp(nbytes=100, npoints=100) == 8.0
+        with pytest.raises(InvalidArgumentError):
+            bitrate_bpp(1, 0)
+
+
+class TestAccuracyGain:
+    def test_equation_2(self):
+        """gain = log2(sigma / E) - R."""
+        assert accuracy_gain_from_stats(sigma=8.0, error_rms=1.0, bpp=2.0) == pytest.approx(1.0)
+        assert accuracy_gain_from_stats(sigma=1.0, error_rms=1.0, bpp=0.5) == pytest.approx(-0.5)
+
+    def test_snr_relation(self, rng):
+        """gain = SNR / (20 log10 2) - R (Sec. V-B)."""
+        x = rng.standard_normal(4096)
+        noise = 0.01 * rng.standard_normal(4096)
+        y = x + noise
+        bpp = 3.0
+        gain = accuracy_gain(x, y, bpp)
+        snr = snr_db(x, y)
+        assert gain == pytest.approx(snr / GAIN_DB_PER_BIT - bpp, rel=1e-9)
+
+    def test_one_extra_bit_halves_error_is_flat(self):
+        """On the random-bits plateau, +1 bit halving E keeps gain flat."""
+        g1 = accuracy_gain_from_stats(1.0, 0.01, 5.0)
+        g2 = accuracy_gain_from_stats(1.0, 0.005, 6.0)
+        assert g1 == pytest.approx(g2)
+
+    def test_degenerate_cases(self):
+        assert accuracy_gain_from_stats(0.0, 1.0, 1.0) == -np.inf
+        assert accuracy_gain_from_stats(1.0, 0.0, 1.0) == np.inf
+
+
+class TestSsim:
+    def test_identical_is_one(self, rng):
+        x = rng.standard_normal((32, 32))
+        assert ssim(x, x) == pytest.approx(1.0)
+
+    def test_noise_reduces_ssim(self, rng):
+        x = rng.standard_normal((32, 32)).cumsum(axis=0).cumsum(axis=1)
+        mild = x + 0.01 * x.std() * rng.standard_normal(x.shape)
+        harsh = x + 0.5 * x.std() * rng.standard_normal(x.shape)
+        assert 0.9 < ssim(x, mild) <= 1.0
+        assert ssim(x, harsh) < ssim(x, mild)
+
+    def test_3d_supported(self, rng):
+        x = rng.standard_normal((12, 12, 12))
+        assert ssim(x, x, window=5) == pytest.approx(1.0)
+
+    def test_constant_arrays(self):
+        x = np.full((16, 16), 3.0)
+        assert ssim(x, x) == 1.0
+        assert ssim(x, x + 1.0) == 0.0
+
+    def test_window_too_large_rejected(self, rng):
+        with pytest.raises(InvalidArgumentError):
+            ssim(rng.standard_normal((4, 4)), rng.standard_normal((4, 4)), window=7)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            ssim(np.zeros((8, 8)), np.zeros((8, 9)))

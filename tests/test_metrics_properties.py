@@ -1,0 +1,93 @@
+"""Property tests for the metric identities used throughout evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    GAIN_DB_PER_BIT,
+    accuracy_gain_from_stats,
+    max_pwe,
+    mse,
+    psnr,
+    rmse,
+    ssim,
+)
+
+_ARRAYS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _pair(seed: int, n: int = 64, noise: float = 0.1):
+    g = np.random.default_rng(seed)
+    a = g.standard_normal(n).cumsum()
+    b = a + noise * g.standard_normal(n)
+    return a, b
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ARRAYS)
+def test_rmse_is_l2_norm_scaled(seed):
+    a, b = _pair(seed)
+    assert rmse(a, b) == np.sqrt(mse(a, b))
+    assert rmse(a, b) <= max_pwe(a, b) + 1e-12  # RMS never exceeds max
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ARRAYS, st.floats(min_value=0.01, max_value=10.0))
+def test_error_metrics_scale_invariance(seed, scale):
+    """Scaling both arrays scales absolute errors and leaves PSNR fixed."""
+    a, b = _pair(seed)
+    assert rmse(scale * a, scale * b) == pytest_approx(scale * rmse(a, b))
+    assert abs(psnr(scale * a, scale * b) - psnr(a, b)) < 1e-8
+
+
+def pytest_approx(x, rel=1e-9):
+    import pytest
+
+    return pytest.approx(x, rel=rel)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ARRAYS)
+def test_psnr_shift_invariance(seed):
+    a, b = _pair(seed)
+    assert abs(psnr(a + 100.0, b + 100.0) - psnr(a, b)) < 1e-8
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ARRAYS, st.floats(min_value=0.1, max_value=20.0))
+def test_gain_bit_exchange_identity(seed, bpp):
+    """Eq. 2: halving E while paying exactly one more bit leaves gain flat."""
+    a, b = _pair(seed)
+    e = rmse(a, b)
+    sigma = float(a.std())
+    g1 = accuracy_gain_from_stats(sigma, e, bpp)
+    g2 = accuracy_gain_from_stats(sigma, e / 2.0, bpp + 1.0)
+    assert abs(g1 - g2) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(_ARRAYS)
+def test_gain_db_relation(seed):
+    """gain = SNR/(20 log10 2) - R (Sec. V-B), for any reconstruction."""
+    from repro.metrics import snr_db
+
+    a, b = _pair(seed)
+    bpp = 3.7
+    sigma = float(a.std())
+    gain = accuracy_gain_from_stats(sigma, rmse(a, b), bpp)
+    assert abs(gain - (snr_db(a, b) / GAIN_DB_PER_BIT - bpp)) < 1e-8
+
+
+@settings(max_examples=20, deadline=None)
+@given(_ARRAYS, st.floats(min_value=0.0, max_value=0.5))
+def test_ssim_bounded_and_ordered(seed, noise):
+    g = np.random.default_rng(seed)
+    a = g.standard_normal((24, 24)).cumsum(axis=0)
+    b = a + noise * a.std() * g.standard_normal(a.shape)
+    s = ssim(a, b)
+    assert -1.0 <= s <= 1.0 + 1e-12
+    if noise == 0.0:
+        assert s == pytest_approx(1.0)

@@ -1,0 +1,132 @@
+"""Universal codes and the Sec. II alternative outlier coders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitstream import BitReader, BitWriter
+from repro.errors import InvalidArgumentError, StreamFormatError
+from repro.lossless.universal import (
+    delta_decode,
+    delta_encode,
+    gamma_decode,
+    gamma_encode,
+    unzigzag,
+    zigzag,
+)
+from repro.outlier import bitmap_decode, bitmap_encode, csr_decode, csr_encode
+
+
+class TestZigzag:
+    def test_known_mapping(self):
+        vals = np.array([0, -1, 1, -2, 2, -3])
+        assert zigzag(vals).tolist() == [1, 2, 3, 4, 5, 6]
+
+    def test_round_trip(self, rng):
+        vals = rng.integers(-(2**40), 2**40, size=500)
+        assert np.array_equal(unzigzag(zigzag(vals)), vals)
+
+
+class TestEliasCodes:
+    def test_gamma_known_lengths(self):
+        """gamma(1)=1 bit, gamma(2..3)=3 bits, gamma(4..7)=5 bits."""
+        for value, bits in ((1, 1), (2, 3), (3, 3), (4, 5), (7, 5), (8, 7)):
+            w = BitWriter()
+            gamma_encode(np.asarray([value]), w)
+            assert w.nbits == bits, value
+
+    def test_gamma_round_trip(self, rng):
+        vals = rng.integers(1, 10**9, size=300)
+        w = BitWriter()
+        gamma_encode(vals, w)
+        r = BitReader(w.getvalue(), nbits=w.nbits)
+        assert np.array_equal(gamma_decode(r, vals.size), vals)
+
+    def test_delta_round_trip(self, rng):
+        vals = rng.integers(1, 10**12, size=300)
+        w = BitWriter()
+        delta_encode(vals, w)
+        r = BitReader(w.getvalue(), nbits=w.nbits)
+        assert np.array_equal(delta_decode(r, vals.size), vals)
+
+    def test_delta_shorter_than_gamma_for_large_values(self, rng):
+        vals = rng.integers(2**20, 2**30, size=200)
+        wg, wd = BitWriter(), BitWriter()
+        gamma_encode(vals, wg)
+        delta_encode(vals, wd)
+        assert wd.nbits < wg.nbits
+
+    def test_small_values_round_trip(self):
+        vals = np.arange(1, 40)
+        for enc, dec in ((gamma_encode, gamma_decode), (delta_encode, delta_decode)):
+            w = BitWriter()
+            enc(vals, w)
+            r = BitReader(w.getvalue(), nbits=w.nbits)
+            assert np.array_equal(dec(r, vals.size), vals)
+
+    def test_nonpositive_rejected(self):
+        w = BitWriter()
+        with pytest.raises(InvalidArgumentError):
+            gamma_encode(np.asarray([0]), w)
+        with pytest.raises(InvalidArgumentError):
+            delta_encode(np.asarray([-3]), w)
+
+    def test_exhausted_stream_rejected(self):
+        r = BitReader(b"", nbits=0)
+        with pytest.raises(StreamFormatError):
+            gamma_decode(r, 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=2**50), min_size=1, max_size=60))
+def test_elias_round_trip_property(values):
+    vals = np.asarray(values, dtype=np.int64)
+    for enc, dec in ((gamma_encode, gamma_decode), (delta_encode, delta_decode)):
+        w = BitWriter()
+        enc(vals, w)
+        r = BitReader(w.getvalue(), nbits=w.nbits)
+        assert np.array_equal(dec(r, vals.size), vals)
+
+
+def _outlier_case(seed: int, n: int = 4096, k: int = 150, t: float = 0.25):
+    g = np.random.default_rng(seed)
+    pos = np.sort(g.choice(n, size=k, replace=False))
+    corr = t * (1.0 + 3.0 * g.random(k)) * np.where(g.random(k) < 0.5, -1.0, 1.0)
+    return pos, corr, n, t
+
+
+class TestAlternativeCoders:
+    @pytest.mark.parametrize("coder", ["csr", "bitmap"])
+    def test_contract_positions_exact_corrections_half_t(self, coder):
+        pos, corr, n, t = _outlier_case(5)
+        enc = csr_encode if coder == "csr" else bitmap_encode
+        dec = csr_decode if coder == "csr" else bitmap_decode
+        dpos, dcorr, dt = dec(enc(pos, corr, n, t))
+        assert dt == t
+        assert np.array_equal(np.sort(dpos), pos)
+        order = np.argsort(dpos)
+        assert np.abs(dcorr[order] - corr).max() <= t / 2 + 1e-12
+
+    def test_csr_cost_is_position_dominated(self):
+        """CSR pays ~log2(n) bits per position — the naive storage the
+        paper criticizes."""
+        pos, corr, n, t = _outlier_case(6, n=2**20, k=100)
+        payload = csr_encode(pos, corr, n, t)
+        bits_per = 8 * len(payload) / 100
+        assert bits_per >= 20  # 20-bit positions alone
+
+    def test_bitmap_beats_csr_at_moderate_density(self):
+        pos, corr, n, t = _outlier_case(7, n=8192, k=250)
+        csr = len(csr_encode(pos, corr, n, t))
+        bmp = len(bitmap_encode(pos, corr, n, t))
+        assert bmp < csr
+
+    def test_truncated_payloads_rejected(self):
+        pos, corr, n, t = _outlier_case(8)
+        for enc, dec in ((csr_encode, csr_decode), (bitmap_encode, bitmap_decode)):
+            payload = enc(pos, corr, n, t)
+            with pytest.raises(StreamFormatError):
+                dec(payload[:10])

@@ -1,0 +1,136 @@
+"""Failure injection: corrupted payloads, precision edges, hostile input.
+
+A production decompressor must reject damage with a clear error — never
+crash, hang, or silently return garbage-typed output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.compressors import (
+    MgardLikeCompressor,
+    SzLikeCompressor,
+    TthreshLikeCompressor,
+    ZfpLikeCompressor,
+)
+from repro.compressors.base import PsnrMode
+from repro.core.modes import PweMode
+from repro.datasets import spectral_field
+from repro.errors import InvalidArgumentError, ReproError
+
+
+@pytest.fixture(scope="module")
+def field():
+    return spectral_field((16, 16, 16), slope=3.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def payload(field):
+    t = repro.tolerance_from_idx(field, 14)
+    return repro.compress(field, repro.PweMode(t)).payload
+
+
+class TestContainerCorruption:
+    def test_truncation_everywhere_raises_or_errors(self, payload):
+        """Cutting the container at any section boundary must raise a
+        library error (not IndexError/segfault-style failures)."""
+        for cut in (0, 4, 8, 12, 30, len(payload) // 2, len(payload) - 3):
+            with pytest.raises((ReproError, Exception)) as exc_info:
+                repro.decompress(payload[:cut])
+            assert not isinstance(exc_info.value, (MemoryError, RecursionError))
+
+    def test_flipped_magic_rejected(self, payload):
+        bad = b"X" + payload[1:]
+        with pytest.raises(ReproError):
+            repro.decompress(bad)
+
+    def test_corrupt_chunk_size_table(self, payload):
+        # inflate the first chunk size field beyond the payload
+        bad = bytearray(payload)
+        # the size table sits right after magic+meta+shape+nchunks+bounds
+        # for a single-chunk 3-D container: 8+4+24+4+48 = 88
+        bad[88:96] = (2**40).to_bytes(8, "little")
+        with pytest.raises(ReproError):
+            repro.decompress(bytes(bad))
+
+    def test_bitflips_in_body_do_not_hang(self, payload):
+        """Flipping bytes inside the compressed body either decodes to
+        *something* or raises cleanly — bounded behaviour always."""
+        rng = np.random.default_rng(3)
+        for _ in range(8):
+            bad = bytearray(payload)
+            pos = int(rng.integers(120, len(payload)))
+            bad[pos] ^= 0xFF
+            try:
+                out = repro.decompress(bytes(bad))
+                assert out.shape == (16, 16, 16)
+            except Exception as exc:  # noqa: BLE001 - any *clean* error is fine
+                assert not isinstance(exc, (MemoryError, RecursionError))
+
+
+class TestBaselinePayloadChecks:
+    @pytest.mark.parametrize(
+        "compressor,mode",
+        [
+            (SzLikeCompressor(), PweMode(0.01)),
+            (ZfpLikeCompressor(), PweMode(0.01)),
+            (TthreshLikeCompressor(), PsnrMode(50.0)),
+            (MgardLikeCompressor(), PweMode(0.01)),
+        ],
+    )
+    def test_wrong_magic_rejected(self, compressor, mode, field):
+        payload = compressor.compress(field, mode)
+        with pytest.raises(ReproError):
+            compressor.decompress(b"JUNK" + payload[4:])
+
+    def test_cross_compressor_payloads_rejected(self, field):
+        sz = SzLikeCompressor()
+        zfp = ZfpLikeCompressor()
+        p = sz.compress(field, PweMode(0.01))
+        with pytest.raises(ReproError):
+            zfp.decompress(p)
+
+
+class TestPrecisionEdges:
+    def test_float32_tolerance_below_precision_rejected(self, rng):
+        data = (rng.standard_normal((12, 12)) * 100).astype(np.float32)
+        t = float(np.abs(data).max()) * 2.0**-25
+        with pytest.raises(InvalidArgumentError):
+            repro.compress(data, repro.PweMode(t))
+
+    def test_float32_bound_holds_after_cast(self, rng):
+        data = (rng.standard_normal((16, 16)) * 1e6).astype(np.float32)
+        t = float(data.max() - data.min()) / 2**14
+        res = repro.compress(data, repro.PweMode(t))
+        recon = repro.decompress(res.payload)
+        assert recon.dtype == np.float32
+        err = np.abs(recon.astype(np.float64) - data.astype(np.float64)).max()
+        assert err <= t
+
+    def test_huge_and_tiny_scales(self):
+        for scale in (1e-300, 1e300):
+            data = spectral_field((12, 12), slope=2.0, seed=5) * scale
+            t = float(data.max() - data.min()) / 2**12
+            res = repro.compress(data, repro.PweMode(t))
+            recon = repro.decompress(res.payload)
+            assert np.abs(recon - data).max() <= t
+
+    def test_denormal_free_output(self, field):
+        res = repro.compress(field, repro.PweMode(1e-6))
+        recon = repro.decompress(res.payload)
+        assert np.all(np.isfinite(recon))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=0, max_size=200))
+def test_garbage_never_crashes_decompress(blob):
+    """Arbitrary bytes into the container parser: clean error or nothing."""
+    try:
+        repro.decompress(blob)
+    except Exception as exc:  # noqa: BLE001
+        assert not isinstance(exc, (MemoryError, RecursionError, SystemError))

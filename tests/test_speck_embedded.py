@@ -1,0 +1,132 @@
+"""The embedded-stream property, exhaustively.
+
+Any prefix of a SPECK stream must decode to a valid reconstruction, and
+quality must be monotone in prefix length — the property behind SPERR's
+size-bounded mode, post-hoc truncation, and streaming use cases
+(Sec. VII).  These tests cut streams at hostile positions: byte
+boundaries, mid-batch, inside the header, one bit short of complete.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import spectral_field
+from repro.quant import integerize
+from repro.speck import decode, decode_coefficients, encode, encode_coefficients
+
+
+@pytest.fixture(scope="module")
+def stream_case():
+    field = spectral_field((16, 16, 16), slope=2.5, seed=31)
+    q = float(field.max() - field.min()) / 2**12
+    stream, nbits, _, recon = encode_coefficients(field, q)
+    return field, q, stream, nbits, recon
+
+
+class TestPrefixDecoding:
+    def test_every_byte_boundary_decodes(self, stream_case):
+        field, q, stream, nbits, _ = stream_case
+        for nbytes in range(2, len(stream), max(1, len(stream) // 40)):
+            nb = min(nbits, nbytes * 8)
+            out = decode_coefficients(stream[:nbytes], field.shape, q, nbits=nb)
+            assert out.shape == field.shape
+            assert np.all(np.isfinite(out))
+
+    def test_arbitrary_bit_positions_decode(self, stream_case):
+        field, q, stream, nbits, _ = stream_case
+        rng = np.random.default_rng(0)
+        for nb in rng.integers(9, nbits, size=25).tolist():
+            out = decode_coefficients(
+                stream[: (nb + 7) // 8], field.shape, q, nbits=nb
+            )
+            assert np.all(np.isfinite(out))
+
+    def test_one_bit_short_of_complete(self, stream_case):
+        field, q, stream, nbits, recon = stream_case
+        out = decode_coefficients(stream, field.shape, q, nbits=nbits - 1)
+        # at most a handful of values can differ from the full decode
+        diff = np.count_nonzero(out != recon)
+        assert diff <= 4
+
+    def test_header_only_prefix_decodes_to_zero(self, stream_case):
+        field, q, stream, _, _ = stream_case
+        out = decode_coefficients(stream[:1], field.shape, q, nbits=8)
+        assert np.all(out == 0)
+
+    def test_rmse_monotone_dense_sampling(self, stream_case):
+        field, q, stream, nbits, _ = stream_case
+        prev = np.inf
+        for frac in np.linspace(0.02, 1.0, 15):
+            nb = max(8, int(nbits * frac))
+            out = decode_coefficients(
+                stream[: (nb + 7) // 8], field.shape, q, nbits=nb
+            )
+            rmse = float(np.sqrt(np.mean((out - field) ** 2)))
+            assert rmse <= prev * 1.002  # tiny slack for plateau jitter
+            prev = rmse
+
+    def test_nbits_none_reads_whole_buffer(self, stream_case):
+        field, q, stream, nbits, recon = stream_case
+        # without an explicit bit count, trailing pad bits of the final
+        # byte are consumed as stream bits; the result must still be a
+        # valid reconstruction (the decoder treats them as extra data)
+        out = decode_coefficients(stream, field.shape, q)
+        assert np.all(np.isfinite(out))
+
+
+class TestBudgetedEncoding:
+    @pytest.mark.parametrize("budget", [64, 500, 5000, 50_000])
+    def test_budget_respected_and_decodable(self, budget):
+        g = np.random.default_rng(7)
+        mags = g.integers(0, 4000, size=(12, 12, 12)).astype(np.uint64)
+        neg = g.random((12, 12, 12)) < 0.5
+        stream, nbits, _ = encode(mags, neg, max_bits=budget)
+        assert nbits <= budget
+        rec, _ = decode(stream, (12, 12, 12), nbits=nbits)
+        assert np.all(np.isfinite(rec))
+        assert np.all(rec <= mags.max() + 1)
+
+    def test_budget_larger_than_stream_is_harmless(self):
+        g = np.random.default_rng(8)
+        mags = g.integers(0, 8, size=(6, 6)).astype(np.uint64)
+        neg = np.zeros((6, 6), dtype=bool)
+        full, full_bits, _ = encode(mags, neg)
+        capped, capped_bits, _ = encode(mags, neg, max_bits=10**9)
+        assert capped == full and capped_bits == full_bits
+
+    def test_more_budget_never_hurts(self):
+        g = np.random.default_rng(9)
+        field = spectral_field((12, 12), slope=2.0, seed=9)
+        q = float(field.max() - field.min()) / 2**14
+        prev_rmse = np.inf
+        for budget in (200, 1000, 5000, 20000):
+            stream, nbits, _, _ = encode_coefficients(field, q, max_bits=budget)
+            out = decode_coefficients(stream, field.shape, q, nbits=nbits)
+            rmse = float(np.sqrt(np.mean((out - field) ** 2)))
+            assert rmse <= prev_rmse * 1.002
+            prev_rmse = rmse
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    frac=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_any_prefix_is_valid_property(seed, frac):
+    g = np.random.default_rng(seed)
+    mags = g.integers(0, 100, size=(8, 8)).astype(np.uint64)
+    neg = g.random((8, 8)) < 0.5
+    stream, nbits, _ = encode(mags, neg)
+    nb = max(8, int(nbits * frac))
+    rec, _ = decode(stream[: (nb + 7) // 8], (8, 8), nbits=nb)
+    assert np.all(np.isfinite(rec))
+    # a value discovered at plane n reconstructs at the center of
+    # [2^n, 2^{n+1}), so a partial decode can overshoot the truth by at
+    # most 50% (plus the final half-step)
+    assert np.all(rec <= 1.5 * mags.astype(np.float64) + 0.5 + 1e-9)
+    # and zero-magnitude positions never become significant
+    assert np.all(rec[mags == 0] == 0)

@@ -1,0 +1,96 @@
+"""Mathematical properties of the wavelet substrate beyond round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.wavelets import (
+    FILTERS,
+    WaveletPlan,
+    forward,
+    forward_97,
+    inverse,
+    lowpass_dc_gain,
+)
+
+
+class TestLinearity:
+    def test_transform_is_linear(self, rng):
+        """DWT(a·x + b·y) == a·DWT(x) + b·DWT(y)."""
+        x = rng.standard_normal((20, 20))
+        y = rng.standard_normal((20, 20))
+        cx, plan = forward(x)
+        cy, _ = forward(y)
+        combined, _ = forward(2.5 * x - 0.75 * y)
+        np.testing.assert_allclose(combined, 2.5 * cx - 0.75 * cy, atol=1e-9)
+
+    def test_zero_maps_to_zero(self):
+        c, _ = forward(np.zeros((16, 16)))
+        assert np.all(c == 0.0)
+
+    def test_scaling_commutes(self, rng):
+        x = rng.standard_normal(128)
+        c1 = forward_97(1e6 * x)
+        c2 = 1e6 * forward_97(x)
+        np.testing.assert_allclose(c1, c2, rtol=1e-12)
+
+
+class TestDetailAnnihilation:
+    def test_cdf97_kills_cubic_polynomials(self):
+        """CDF 9/7 has four analysis vanishing moments: the high-pass
+        output of any cubic polynomial vanishes away from the boundary."""
+        t = np.linspace(-1.0, 1.0, 256)
+        poly = 1.0 + 2.0 * t - 0.5 * t**2 + 0.3 * t**3
+        c = forward_97(poly)
+        interior_detail = c[132:252]  # high-pass half, boundary clipped
+        assert np.abs(interior_detail).max() < 1e-10
+
+    def test_cdf53_kills_linears(self):
+        from repro.wavelets import forward_53
+
+        t = np.linspace(0.0, 1.0, 128)
+        line = 3.0 * t + 1.0
+        c = forward_53(line)
+        interior_detail = c[66:126]
+        assert np.abs(interior_detail).max() < 1e-10
+
+    def test_haar_kills_constants(self):
+        from repro.wavelets import forward_haar
+
+        c = forward_haar(np.full(64, 7.0))
+        assert np.abs(c[32:]).max() < 1e-12
+
+
+class TestPlanGeometry:
+    def test_low_lengths_shrink_monotonically(self):
+        plan = WaveletPlan.create((100, 37, 64))
+        for before, after in zip(plan.low_lengths, plan.low_lengths[1:]):
+            assert all(a <= b for a, b in zip(after, before))
+
+    def test_axis_levels_respect_rule(self):
+        plan = WaveletPlan.create((256, 8, 7))
+        assert plan.axis_levels == (6, 1, 0)
+
+    def test_degenerate_axis_never_transformed(self, rng):
+        x = rng.standard_normal((64, 1))
+        c, plan = forward(x)
+        assert plan.axis_levels[1] == 0
+        np.testing.assert_allclose(inverse(c, plan), x, atol=1e-9)
+
+
+class TestDcGains:
+    @pytest.mark.parametrize("wavelet", sorted(FILTERS))
+    def test_gain_matches_constant_transform(self, wavelet):
+        """The cached DC gain must equal what a constant signal measures."""
+        fwd, _ = FILTERS[wavelet]
+        c = fwd(np.ones(128))
+        measured = float(np.mean(c[:64]))
+        assert lowpass_dc_gain(wavelet) == pytest.approx(measured, rel=1e-10)
+
+    def test_cdf97_gain_value(self):
+        """With near-unit-norm basis scaling the low-pass DC gain is
+        sqrt(2) per level — the orthonormal-wavelet convention (the raw
+        lifting low-pass filter sums to K = 1.2302, and the s *= sqrt(2)/K
+        scaling maps that to exactly sqrt(2))."""
+        assert lowpass_dc_gain("cdf97") == pytest.approx(np.sqrt(2.0), rel=1e-12)

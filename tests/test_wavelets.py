@@ -1,0 +1,165 @@
+"""Wavelet substrate: lifting filters, multi-level n-D DWT, level rule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidArgumentError
+from repro.wavelets import (
+    WaveletPlan,
+    forward,
+    forward_53,
+    forward_97,
+    forward_haar,
+    inverse,
+    inverse_53,
+    inverse_97,
+    inverse_haar,
+    num_levels,
+)
+
+_FILTER_PAIRS = [
+    (forward_97, inverse_97),
+    (forward_53, inverse_53),
+    (forward_haar, inverse_haar),
+]
+
+
+class TestLifting:
+    @pytest.mark.parametrize("fwd,inv", _FILTER_PAIRS)
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 9, 16, 17, 63, 64, 100, 101])
+    def test_perfect_reconstruction_1d(self, fwd, inv, n, rng):
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(inv(fwd(x)), x, atol=1e-10)
+
+    @pytest.mark.parametrize("fwd,inv", _FILTER_PAIRS)
+    def test_perfect_reconstruction_batched(self, fwd, inv, rng):
+        x = rng.standard_normal((7, 33))
+        np.testing.assert_allclose(inv(fwd(x)), x, atol=1e-10)
+
+    def test_cdf97_near_orthogonal(self, rng):
+        """Parseval within a few percent — the property SPERR exploits to
+        equate coefficient L2 error with data L2 error (Sec. III-A)."""
+        x = rng.standard_normal(4096)
+        c = forward_97(x)
+        ratio = np.sum(c**2) / np.sum(x**2)
+        assert 0.95 < ratio < 1.06
+
+    def test_cdf97_compacts_smooth_signal(self):
+        """A smooth ramp concentrates energy in the low-pass half."""
+        x = np.linspace(0.0, 1.0, 256)
+        c = forward_97(x)
+        low = np.sum(c[:128] ** 2)
+        high = np.sum(c[128:] ** 2)
+        assert low > 100 * high
+
+    def test_haar_orthonormal(self, rng):
+        x = rng.standard_normal(256)
+        c = forward_haar(x)
+        np.testing.assert_allclose(np.sum(c**2), np.sum(x**2), rtol=1e-12)
+
+    @pytest.mark.parametrize("fwd", [forward_97, forward_53, forward_haar])
+    def test_length_one_rejected(self, fwd):
+        with pytest.raises(InvalidArgumentError):
+            fwd(np.zeros(1))
+
+    def test_mallat_layout(self, rng):
+        """Output is [lowpass | highpass] with lowpass length ceil(n/2)."""
+        x = rng.standard_normal(9)
+        c = forward_97(x)
+        assert c.shape == (9,)
+        # zeroing the high-pass half must still roughly reconstruct a
+        # smooth signal; zeroing the low-pass half must not
+        smooth = np.linspace(0, 1, 9)
+        cs = forward_97(smooth)
+        low_only = cs.copy()
+        low_only[5:] = 0
+        assert np.abs(inverse_97(low_only) - smooth).max() < 0.1
+
+
+class TestDwt:
+    @pytest.mark.parametrize(
+        "shape",
+        [(64,), (100,), (7,), (32, 48), (17, 33), (16, 16, 16), (33, 20, 47), (8, 1, 8)],
+    )
+    def test_round_trip(self, shape, rng):
+        x = rng.standard_normal(shape)
+        c, plan = forward(x)
+        np.testing.assert_allclose(inverse(c, plan), x, atol=1e-9)
+
+    @pytest.mark.parametrize("wavelet", ["cdf97", "cdf53", "haar"])
+    def test_round_trip_all_wavelets(self, wavelet, rng):
+        x = rng.standard_normal((20, 24))
+        c, plan = forward(x, wavelet=wavelet)
+        np.testing.assert_allclose(inverse(c, plan), x, atol=1e-9)
+
+    def test_level_rule(self):
+        """min(6, floor(log2 N) - 2), Sec. III-A."""
+        assert num_levels(7) == 0
+        assert num_levels(8) == 1
+        assert num_levels(64) == 4
+        assert num_levels(256) == 6
+        assert num_levels(1 << 20) == 6  # capped at six
+
+    def test_level_rule_invalid(self):
+        with pytest.raises(InvalidArgumentError):
+            num_levels(0)
+
+    def test_plan_deterministic(self):
+        p1 = WaveletPlan.create((64, 32, 16))
+        p2 = WaveletPlan.create((64, 32, 16))
+        assert p1 == p2
+        assert p1.axis_levels == (4, 3, 2)
+
+    def test_forced_levels(self, rng):
+        x = rng.standard_normal((64,))
+        c, plan = forward(x, levels=2)
+        assert plan.axis_levels == (2,)
+        np.testing.assert_allclose(inverse(c, plan), x, atol=1e-9)
+
+    def test_unknown_wavelet_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            WaveletPlan.create((16,), wavelet="db4")
+
+    def test_4d_rejected(self, rng):
+        with pytest.raises(InvalidArgumentError):
+            forward(rng.standard_normal((4, 4, 4, 4)))
+
+    def test_shape_mismatch_rejected(self, rng):
+        x = rng.standard_normal((16, 16))
+        c, plan = forward(x)
+        with pytest.raises(InvalidArgumentError):
+            inverse(c[:8], plan)
+
+    def test_smooth_3d_energy_compaction(self):
+        g = np.linspace(0, 1, 32)
+        x = np.sin(2 * np.pi * g)[:, None, None] * np.cos(2 * np.pi * g)[None, :, None] + g[None, None, :]
+        c, plan = forward(x)
+        mags = np.sort(np.abs(c.ravel()))[::-1]
+        top1pct = np.sum(mags[: mags.size // 100] ** 2)
+        assert top1pct > 0.99 * np.sum(mags**2)
+
+    def test_constant_field(self):
+        x = np.full((16, 16), 3.7)
+        c, plan = forward(x)
+        np.testing.assert_allclose(inverse(c, plan), x, atol=1e-10)
+        # details vanish for a constant input (up to round-off)
+        lowx, lowy = plan.low_lengths[-1]
+        detail_energy = np.sum(c**2) - np.sum(c[: (lowx + 1) // 2, : (lowy + 1) // 2] ** 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.tuples(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=2, max_value=40),
+    ),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_dwt_round_trip_property(shape, seed):
+    x = np.random.default_rng(seed).standard_normal(shape)
+    c, plan = forward(x)
+    np.testing.assert_allclose(inverse(c, plan), x, atol=1e-8)
