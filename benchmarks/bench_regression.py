@@ -1,0 +1,248 @@
+"""Benchmark-regression harness: per-stage timings with a persistent trail.
+
+Times compress/decompress for SPERR and the four baseline compressors on
+fixed seeds and writes ``BENCH_speed.json`` at the repo root.  The file
+keeps two measurement blocks:
+
+* ``baseline`` — frozen numbers recorded before the hot-path PR landed
+  (refresh only deliberately, with ``--rebaseline``);
+* ``current``  — refreshed on every run, giving each future PR a perf
+  trajectory to compare against.
+
+The headline series is ``sperr_multichunk``: a 64^3 volume compressed in
+32^3 chunks with a warm plan cache, the configuration of the paper's
+strong-scaling study (Fig. 7/10).  ``speedup_vs_baseline`` records how
+the current tree compares against the frozen baseline per stage.
+
+Run from the repo root (or anywhere)::
+
+    PYTHONPATH=src python benchmarks/bench_regression.py [--quick] [--label L]
+
+``benchmarks/check_regression.py`` consumes the same file as an opt-in
+CI gate (fails when any stage regresses >25%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.compressors import (  # noqa: E402
+    MgardLikeCompressor,
+    SperrCompressor,
+    SzLikeCompressor,
+    TthreshLikeCompressor,
+    ZfpLikeCompressor,
+)
+from repro.compressors.base import PsnrMode  # noqa: E402
+from repro.core.modes import PweMode  # noqa: E402
+from repro.datasets.fields import get_field  # noqa: E402
+
+BENCH_FILE = ROOT / "BENCH_speed.json"
+SCHEMA = 1
+
+#: Fixed workload parameters — every number in BENCH_speed.json is
+#: reproducible from these.
+CONFIG = {
+    "field": "miranda_density",
+    "seed": 7,
+    "shape_small": [32, 32, 32],
+    "shape_multichunk": [64, 64, 64],
+    "chunk": 32,
+    "tol_rel": 1e-3,
+    "psnr_db": 60.0,
+}
+
+#: The case the acceptance criterion tracks: multi-chunk SPERR with a
+#: warm plan cache must stay >= 1.5x faster than the pre-PR baseline.
+HEADLINE_CASE = "sperr_multichunk"
+HEADLINE_MIN_SPEEDUP = 1.5
+
+
+def _field(shape: tuple[int, ...]) -> np.ndarray:
+    return get_field(CONFIG["field"], shape, seed=CONFIG["seed"])
+
+
+def _pwe(data: np.ndarray) -> PweMode:
+    return PweMode(CONFIG["tol_rel"] * float(data.max() - data.min()))
+
+
+def _make_cases() -> dict[str, dict]:
+    """Build the case table: (compressor factory, data, mode) per name."""
+    small = _field(tuple(CONFIG["shape_small"]))
+    big = _field(tuple(CONFIG["shape_multichunk"]))
+    return {
+        "sperr": {"comp": lambda: SperrCompressor(), "data": small, "mode": _pwe(small)},
+        "sz3": {"comp": lambda: SzLikeCompressor(), "data": small, "mode": _pwe(small)},
+        "zfp": {"comp": lambda: ZfpLikeCompressor(), "data": small, "mode": _pwe(small)},
+        "tthresh": {
+            "comp": lambda: TthreshLikeCompressor(),
+            "data": small,
+            "mode": PsnrMode(CONFIG["psnr_db"]),
+        },
+        "mgard": {"comp": lambda: MgardLikeCompressor(), "data": small, "mode": _pwe(small)},
+        HEADLINE_CASE: {
+            "comp": lambda: SperrCompressor(chunk_shape=CONFIG["chunk"]),
+            "data": big,
+            "mode": _pwe(big),
+        },
+    }
+
+
+def _time_case(case: dict, repeats: int) -> dict:
+    """Median compress/decompress seconds (plus SPERR stage breakdown)."""
+    comp = case["comp"]()
+    data, mode = case["data"], case["mode"]
+    # Warm-up pass: fills the plan caches (post-PR) and any lazy numpy
+    # state, so the timed repeats measure the steady warm-path regime.
+    payload = comp.compress(data, mode)
+    comp.decompress(payload)
+
+    c_times, d_times = [], []
+    stage_sums: dict[str, list[float]] = {}
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        payload = comp.compress(data, mode)
+        t1 = time.perf_counter()
+        out = comp.decompress(payload)
+        t2 = time.perf_counter()
+        c_times.append(t1 - t0)
+        d_times.append(t2 - t1)
+        reports = getattr(comp, "last_reports", None)
+        if reports:
+            sums: dict[str, float] = {}
+            for rep in reports:
+                for k, v in rep.timings.items():
+                    sums[k] = sums.get(k, 0.0) + v
+            sums["lossless"] = max(0.0, (t1 - t0) - sum(sums.values()))
+            for k, v in sums.items():
+                stage_sums.setdefault(k, []).append(v)
+    if out.shape != data.shape:
+        raise RuntimeError(f"round-trip shape mismatch: {out.shape} vs {data.shape}")
+    if isinstance(mode, PweMode):
+        worst = float(np.max(np.abs(out - data)))
+        if worst > mode.tolerance * 1.0000001:
+            raise RuntimeError(f"tolerance violated: {worst} > {mode.tolerance}")
+
+    entry = {
+        "compress_s": statistics.median(c_times),
+        "decompress_s": statistics.median(d_times),
+        "end_to_end_s": statistics.median(
+            [c + d for c, d in zip(c_times, d_times)]
+        ),
+        "payload_bytes": len(payload),
+        "repeats": repeats,
+    }
+    if stage_sums:
+        entry["stages"] = {k: statistics.median(v) for k, v in sorted(stage_sums.items())}
+    return entry
+
+
+def measure(repeats: int = 3, cases: dict | None = None) -> dict:
+    """Measure every case; returns ``{case_name: stage timings}``."""
+    cases = cases if cases is not None else _make_cases()
+    out = {}
+    for name, case in cases.items():
+        out[name] = _time_case(case, repeats)
+        print(
+            f"  {name:16s} compress {out[name]['compress_s'] * 1e3:8.1f} ms   "
+            f"decompress {out[name]['decompress_s'] * 1e3:8.1f} ms   "
+            f"{out[name]['payload_bytes']:9d} B"
+        )
+    return out
+
+
+def _plan_cache_stats() -> dict:
+    """Plan-cache hit/miss counters, when the cache layer is available."""
+    try:
+        from repro.core import plans
+    except ImportError:  # pre plan-cache trees
+        return {}
+    return plans.cache_stats()
+
+
+def _speedups(baseline: dict, current: dict) -> dict:
+    out = {}
+    for name, cur in current.items():
+        base = baseline.get(name)
+        if not base:
+            continue
+        entry = {}
+        for key in ("compress_s", "decompress_s", "end_to_end_s"):
+            if base.get(key, 0) > 0 and cur.get(key, 0) > 0:
+                entry[key.removesuffix("_s")] = round(base[key] / cur[key], 3)
+        out[name] = entry
+    return out
+
+
+def run(argv: list[str] | None = None) -> int:
+    """CLI entry point; writes BENCH_speed.json and prints the table."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="single repeat")
+    parser.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="overwrite the frozen baseline block with this run",
+    )
+    parser.add_argument("--label", default=None, help="label for the current block")
+    args = parser.parse_args(argv)
+    repeats = 1 if (args.quick or os.environ.get("REPRO_BENCH_QUICK") == "1") else 3
+
+    print(f"bench_regression: {repeats} repeat(s) per case")
+    timings = measure(repeats)
+
+    doc = {}
+    if BENCH_FILE.exists():
+        try:
+            doc = json.loads(BENCH_FILE.read_text())
+        except json.JSONDecodeError:
+            doc = {}
+    block = {"label": args.label or "current", "cases": timings}
+    if args.rebaseline or "baseline" not in doc:
+        doc["baseline"] = {
+            "label": args.label or "baseline",
+            "cases": timings,
+        }
+    doc.update(
+        {
+            "schema": SCHEMA,
+            "config": CONFIG,
+            "machine": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "cpu_count": os.cpu_count(),
+            },
+            "current": block,
+            "plan_cache": _plan_cache_stats(),
+        }
+    )
+    doc["speedup_vs_baseline"] = _speedups(doc["baseline"]["cases"], timings)
+
+    BENCH_FILE.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BENCH_FILE}")
+
+    head = doc["speedup_vs_baseline"].get(HEADLINE_CASE, {})
+    if head:
+        factor = head.get("end_to_end", 1.0)
+        verdict = "OK" if factor >= HEADLINE_MIN_SPEEDUP else "BELOW TARGET"
+        print(
+            f"{HEADLINE_CASE}: {factor:.2f}x end-to-end vs baseline "
+            f"(target >= {HEADLINE_MIN_SPEEDUP}x) [{verdict}]"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())

@@ -1,0 +1,168 @@
+"""Performance-regression gate over ``BENCH_speed.json``.
+
+Re-times the benchmark cases on the current tree and compares each stage
+(compress / decompress / end-to-end) against the ``current`` block stored
+in ``BENCH_speed.json`` — the numbers the last bench run recorded.  A
+stage that got more than ``--threshold`` slower (default 25%) fails the
+gate; so does a headline ``sperr_multichunk`` end-to-end speedup that
+drops below the 1.5x acceptance floor relative to the frozen baseline.
+
+Short stages are timer-noisy, so a regression is only flagged when the
+absolute slowdown also exceeds a noise floor (default 20 ms).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/check_regression.py [--quick]
+
+The same gate runs as an opt-in pytest marker::
+
+    REPRO_BENCH_GATE=1 PYTHONPATH=src python -m pytest -m bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+if str(ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(ROOT / "benchmarks"))
+
+from bench_regression import (  # noqa: E402
+    BENCH_FILE,
+    HEADLINE_CASE,
+    HEADLINE_MIN_SPEEDUP,
+    measure,
+)
+
+#: A stage regresses when current/reference exceeds this ratio.
+DEFAULT_THRESHOLD = 1.25
+#: Slowdowns smaller than this many seconds (absolute) are timer noise —
+#: a 1.6x blip on a 16 ms stage is jitter, a 1.3x creep on 300 ms is not.
+DEFAULT_NOISE_FLOOR_S = 0.020
+
+_STAGE_KEYS = ("compress_s", "decompress_s", "end_to_end_s")
+
+
+def compare(
+    reference: dict,
+    current: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_floor_s: float = DEFAULT_NOISE_FLOOR_S,
+) -> list[str]:
+    """Return a list of human-readable regression descriptions (empty = pass)."""
+    problems = []
+    for name, ref_entry in sorted(reference.items()):
+        cur_entry = current.get(name)
+        if cur_entry is None:
+            problems.append(f"{name}: case missing from current run")
+            continue
+        for key in _STAGE_KEYS:
+            ref = ref_entry.get(key, 0.0)
+            cur = cur_entry.get(key, 0.0)
+            if ref <= 0.0 or cur <= 0.0 or (cur - ref) <= noise_floor_s:
+                continue
+            ratio = cur / ref
+            if ratio > threshold:
+                problems.append(
+                    f"{name}.{key.removesuffix('_s')}: {cur * 1e3:.1f} ms vs "
+                    f"reference {ref * 1e3:.1f} ms ({ratio:.2f}x, "
+                    f"threshold {threshold:.2f}x)"
+                )
+    return problems
+
+
+def check_headline(baseline: dict, current: dict) -> list[str]:
+    """Enforce the acceptance floor on the headline multi-chunk case."""
+    base = baseline.get(HEADLINE_CASE, {}).get("end_to_end_s", 0.0)
+    cur = current.get(HEADLINE_CASE, {}).get("end_to_end_s", 0.0)
+    if base <= 0.0 or cur <= 0.0:
+        return [f"{HEADLINE_CASE}: missing end-to-end timings for headline check"]
+    factor = base / cur
+    if factor < HEADLINE_MIN_SPEEDUP:
+        return [
+            f"{HEADLINE_CASE}: {factor:.2f}x end-to-end vs frozen baseline, "
+            f"below the {HEADLINE_MIN_SPEEDUP}x floor"
+        ]
+    return []
+
+
+def _merge_best(a: dict, b: dict) -> dict:
+    """Elementwise minimum of two measurement runs (per case and stage)."""
+    out = {}
+    for name in set(a) | set(b):
+        ea, eb = a.get(name), b.get(name)
+        if ea is None or eb is None:
+            out[name] = ea or eb
+            continue
+        merged = dict(ea)
+        for key in _STAGE_KEYS:
+            if key in ea and key in eb:
+                merged[key] = min(ea[key], eb[key])
+        out[name] = merged
+    return out
+
+
+def run_gate(*, quick: bool = False, threshold: float = DEFAULT_THRESHOLD) -> list[str]:
+    """Measure the current tree and gate it against BENCH_speed.json.
+
+    A run that trips the gate is re-measured once and judged on the
+    elementwise best of both runs, so a transient load spike on the
+    machine does not read as a code regression.
+    """
+    if not BENCH_FILE.exists():
+        return [
+            f"{BENCH_FILE.name} not found - run "
+            "'PYTHONPATH=src python benchmarks/bench_regression.py' first"
+        ]
+    doc = json.loads(BENCH_FILE.read_text())
+    reference = doc.get("current", {}).get("cases", {})
+    baseline = doc.get("baseline", {}).get("cases", {})
+    if not reference:
+        return [f"{BENCH_FILE.name} has no 'current' block to gate against"]
+
+    repeats = 1 if quick else 3
+
+    def judge(timings: dict) -> list[str]:
+        problems = compare(reference, timings, threshold=threshold)
+        if baseline:
+            problems += check_headline(baseline, timings)
+        return problems
+
+    timings = measure(repeats=repeats)
+    problems = judge(timings)
+    if problems:
+        print("gate tripped - re-measuring once to rule out machine noise")
+        timings = _merge_best(timings, measure(repeats=repeats))
+        problems = judge(timings)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="single repeat")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="max allowed current/reference ratio per stage (default 1.25)",
+    )
+    args = parser.parse_args(argv)
+
+    problems = run_gate(quick=args.quick, threshold=args.threshold)
+    if problems:
+        print("REGRESSIONS DETECTED:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("no perf regressions (all stages within threshold)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -90,9 +90,34 @@ class BitReader:
         return self.read_bits(n)
 
     def read_uint(self, width: int) -> int:
-        """Read ``width`` bits as an unsigned integer (MSB first)."""
+        """Read ``width`` bits as an unsigned integer (MSB first).
+
+        The bits are packed into whole bytes in one vectorized step and
+        assembled word-at-a-time, replacing the former per-bit Python loop.
+        """
         bits = self.read_bits_exact(width)
-        value = 0
-        for b in bits.tolist():
-            value = (value << 1) | int(b)
-        return value
+        if width == 0:
+            return 0
+        # packbits zero-pads the tail byte on the LSB side; shift it out.
+        return int.from_bytes(np.packbits(bits).tobytes(), "big") >> (-width % 8)
+
+    def read_uints(self, width: int, count: int) -> np.ndarray:
+        """Read ``count`` consecutive ``width``-bit unsigned integers.
+
+        Batch refill for word-at-a-time consumers: one reshape + packbits
+        replaces ``count`` scalar reads.  ``width`` must be 64 or less;
+        raises :class:`StreamFormatError` if fewer than ``width * count``
+        bits remain.
+        """
+        if width < 0 or width > 64:
+            raise InvalidArgumentError("width must be in [0, 64]")
+        if count < 0:
+            raise InvalidArgumentError("count must be non-negative")
+        if width == 0 or count == 0:
+            self.read_bits_exact(width * count)
+            return np.zeros(count, dtype=np.uint64)
+        bits = self.read_bits_exact(width * count).reshape(count, width)
+        padded = np.zeros((count, 64), dtype=np.bool_)
+        padded[:, 64 - width :] = bits
+        words = np.packbits(padded, axis=1)
+        return words.view(">u8").astype(np.uint64).reshape(count)

@@ -16,6 +16,10 @@ from ..errors import InvalidArgumentError
 
 __all__ = ["BitWriter"]
 
+#: MSB-first shift table shared by every ``write_uint`` call (avoids an
+#: ``np.arange`` allocation per call in token-heavy coders such as LZ77).
+_UINT_SHIFTS = np.arange(63, -1, -1, dtype=np.uint64)
+
 
 class BitWriter:
     """Append-only bit buffer with cheap batched appends.
@@ -65,16 +69,25 @@ class BitWriter:
 
     def write_uint(self, value: int, width: int) -> None:
         """Append ``value`` as ``width`` bits, most significant bit first."""
-        if width < 0 or (width < value.bit_length()):
+        if width < 0:
+            raise InvalidArgumentError(f"width must be non-negative, got {width}")
+        if value < 0:
+            raise InvalidArgumentError(
+                f"write_uint requires a non-negative value, got {value}"
+            )
+        if value.bit_length() > width:
             raise InvalidArgumentError(
                 f"value {value} does not fit in {width} bits"
             )
-        if value < 0:
-            raise InvalidArgumentError("write_uint requires a non-negative value")
         if width == 0:
             return
-        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
-        bits = (np.uint64(value) >> shifts) & np.uint64(1)
+        if width > 64:
+            # Python ints are unbounded; emit the high bits first, then the
+            # 64-bit tail through the vectorized path below.
+            self.write_uint(value >> 64, width - 64)
+            value &= (1 << 64) - 1
+            width = 64
+        bits = (np.uint64(value) >> _UINT_SHIFTS[64 - width :]) & np.uint64(1)
         self.write_bits(bits.astype(np.bool_))
 
     def as_bool_array(self) -> np.ndarray:

@@ -19,14 +19,19 @@ import struct
 
 import numpy as np
 
-from ..core.chunking import Chunk, assemble, plan_chunks, split
-from ..core.parallel import chunk_map
+from ..core.chunking import Chunk, assemble, plan_chunks
+from ..core.parallel import chunk_map, map_chunk_arrays
 from ..errors import InvalidArgumentError, StreamFormatError
 from .base import Compressor, Mode
 
 __all__ = ["ChunkedCompressor"]
 
 _MAGIC = b"CHNK"
+
+
+def _compress_part(part: np.ndarray, inner: Compressor, mode: Mode) -> bytes:
+    """Module-level chunk job (picklable for the process executor)."""
+    return inner.compress(part, mode)
 
 
 class ChunkedCompressor(Compressor):
@@ -54,13 +59,15 @@ class ChunkedCompressor(Compressor):
         self.check_mode(mode)
         data = np.asarray(data, dtype=np.float64)
         chunks = plan_chunks(data.shape, self.chunk_shape)
-        parts = split(data, chunks)
-
-        def work(part: np.ndarray) -> bytes:
-            return self.inner.compress(part, mode)
-
-        payloads = chunk_map(
-            work, parts, executor=self.executor, workers=self.workers
+        # The process path ships the volume through shared memory once
+        # (workers slice their own chunks); serial/thread slice in-process.
+        payloads = map_chunk_arrays(
+            _compress_part,
+            data,
+            chunks,
+            args=(self.inner, mode),
+            executor=self.executor,
+            workers=self.workers,
         )
         head = bytearray()
         head += _MAGIC
@@ -79,30 +86,45 @@ class ChunkedCompressor(Compressor):
         if payload[:4] != _MAGIC:
             raise StreamFormatError("not a chunked-compressor payload")
         pos = 4
-        (rank,) = struct.unpack_from("<B", payload, pos)
-        pos += 1
-        if rank < 1 or rank > 3:
-            raise StreamFormatError(f"invalid rank {rank}")
-        shape = struct.unpack_from(f"<{rank}Q", payload, pos)
-        pos += 8 * rank
-        (n_chunks,) = struct.unpack_from("<I", payload, pos)
-        pos += 4
-        chunks = []
-        for _ in range(n_chunks):
-            bounds = []
-            for _ in range(rank):
-                a, b = struct.unpack_from("<QQ", payload, pos)
-                pos += 16
-                bounds.append((a, b))
-            chunks.append(Chunk(bounds=tuple(bounds)))
-        sizes = struct.unpack_from(f"<{n_chunks}Q", payload, pos)
-        pos += 8 * n_chunks
+        try:
+            (rank,) = struct.unpack_from("<B", payload, pos)
+            pos += 1
+            if rank < 1 or rank > 3:
+                raise StreamFormatError(f"invalid rank {rank}")
+            shape = struct.unpack_from(f"<{rank}Q", payload, pos)
+            pos += 8 * rank
+            (n_chunks,) = struct.unpack_from("<I", payload, pos)
+            pos += 4
+            chunks = []
+            for _ in range(n_chunks):
+                bounds = []
+                for _ in range(rank):
+                    a, b = struct.unpack_from("<QQ", payload, pos)
+                    pos += 16
+                    bounds.append((a, b))
+                chunks.append(Chunk(bounds=tuple(bounds)))
+            sizes = struct.unpack_from(f"<{n_chunks}Q", payload, pos)
+            pos += 8 * n_chunks
+        except struct.error as exc:
+            raise StreamFormatError(f"chunked header truncated: {exc}") from exc
+        # Validate the declared section table against the payload that is
+        # actually present before slicing any stream.
+        declared = sum(int(s) for s in sizes)
+        available = len(payload) - pos
+        if declared > available:
+            raise StreamFormatError(
+                f"chunked payload truncated: sections declare {declared} "
+                f"bytes but only {available} remain"
+            )
+        if declared < available:
+            raise StreamFormatError(
+                f"{available - declared} trailing bytes after the last "
+                "chunk stream"
+            )
         streams = []
         for size in sizes:
             streams.append(payload[pos : pos + size])
             pos += size
-            if len(streams[-1]) != size:
-                raise StreamFormatError("chunked payload truncated")
 
         parts = chunk_map(
             self.inner.decompress, streams, executor=self.executor, workers=self.workers

@@ -24,6 +24,7 @@ import numpy as np
 
 from ...bitstream import BitReader, BitWriter
 from ...core.modes import PweMode, SizeMode
+from ...core.plans import zfp_scan_order
 from ...errors import InvalidArgumentError, StreamFormatError
 from ..base import Compressor, Mode
 from .transform import (
@@ -32,7 +33,6 @@ from .transform import (
     from_negabinary,
     fwd_lift,
     inv_lift,
-    permutation,
     to_negabinary,
 )
 
@@ -231,7 +231,7 @@ class ZfpLikeCompressor(Compressor):
         ints = np.rint(flat * scale[:, None]).astype(np.int64)
         iblocks = ints.reshape(blocks.shape)
         fwd_lift(iblocks)
-        perm = permutation(nd)
+        perm, _ = zfp_scan_order(nd)
         coeffs = iblocks.reshape(nb, -1)[:, perm]
         u = to_negabinary(coeffs)
 
@@ -322,8 +322,7 @@ class ZfpLikeCompressor(Compressor):
             exps[b] = e2
             nonzero[b] = nz2
 
-        perm = permutation(nd)
-        inv_perm = np.argsort(perm)
+        _, inv_perm = zfp_scan_order(nd)
         coeffs = from_negabinary(u)[:, inv_perm]
         iblocks = coeffs.reshape((nb,) + (4,) * nd).copy()
         inv_lift(iblocks)

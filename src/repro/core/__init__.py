@@ -4,7 +4,8 @@ and the container-level compress/decompress API."""
 from .chunking import DEFAULT_CHUNK, Chunk, assemble, plan_chunks, split
 from .container import CompressionResult, compress, decompress
 from .modes import Q_FACTOR, PsnrMode, PweMode, SizeMode, data_range, tolerance_from_idx
-from .parallel import EXECUTORS, chunk_map, default_workers
+from .parallel import EXECUTORS, chunk_map, default_workers, map_chunk_arrays, shutdown_pools
+from .plans import PlanCache, cache_stats, clear_plan_caches
 from .progressive import decompress_multires, truncate
 from .timeseries import compress_frames, decompress_frame, decompress_frames, frame_count
 from .pipeline import ChunkReport, compress_chunk, decompress_chunk
@@ -15,10 +16,15 @@ __all__ = [
     "CompressionResult",
     "DEFAULT_CHUNK",
     "EXECUTORS",
+    "PlanCache",
     "PweMode",
     "PsnrMode",
     "Q_FACTOR",
     "SizeMode",
+    "cache_stats",
+    "clear_plan_caches",
+    "map_chunk_arrays",
+    "shutdown_pools",
     "assemble",
     "chunk_map",
     "compress",

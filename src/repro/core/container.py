@@ -27,9 +27,11 @@ import numpy as np
 
 from .. import lossless
 from ..errors import InvalidArgumentError, StreamFormatError
-from .chunking import Chunk, assemble, plan_chunks, split
+from functools import partial
+
+from .chunking import Chunk, assemble, plan_chunks
 from .modes import PsnrMode, PweMode, SizeMode
-from .parallel import chunk_map
+from .parallel import chunk_map, map_chunk_arrays
 from .pipeline import ChunkReport, compress_chunk, decompress_chunk
 
 __all__ = [
@@ -69,6 +71,21 @@ class CompressionResult:
     @property
     def n_outliers(self) -> int:
         return sum(r.n_outliers for r in self.reports)
+
+
+def _compress_chunk_job(
+    part: np.ndarray,
+    mode: PweMode | SizeMode | PsnrMode,
+    wavelet: str,
+    levels: int | None,
+) -> tuple[bytes, ChunkReport]:
+    """Module-level chunk job (picklable for the process executor)."""
+    return compress_chunk(part, mode, wavelet=wavelet, levels=levels)
+
+
+def _decompress_chunk_job(stream: bytes, rank: int) -> np.ndarray:
+    """Module-level chunk-decode job (picklable for the process executor)."""
+    return decompress_chunk(lossless.decompress(stream), rank=rank)
 
 
 def compress(
@@ -117,12 +134,17 @@ def compress(
         mode = PweMode(mode.tolerance - 0.5 * ulp, q_factor=mode.q_factor)
 
     chunks = plan_chunks(data.shape, chunk_shape)
-    parts = split(data, chunks)
 
-    def work(part: np.ndarray) -> tuple[bytes, ChunkReport]:
-        return compress_chunk(part, mode, wavelet=wavelet, levels=levels)
-
-    results = chunk_map(work, parts, executor=executor, workers=workers)
+    # Chunks are sliced inside the executor: the process path ships the
+    # volume through shared memory once instead of pickling every chunk.
+    results = map_chunk_arrays(
+        _compress_chunk_job,
+        data,
+        chunks,
+        args=(mode, wavelet, levels),
+        executor=executor,
+        workers=workers,
+    )
     streams = []
     reports = []
     for raw, report in results:
@@ -229,10 +251,7 @@ def decompress(
 ) -> np.ndarray:
     """Decompress a container produced by :func:`compress`."""
     parsed = parse_container(payload)
-
-    def work(stream: bytes) -> np.ndarray:
-        return decompress_chunk(lossless.decompress(stream), rank=parsed.rank)
-
+    work = partial(_decompress_chunk_job, rank=parsed.rank)
     parts = chunk_map(work, parsed.streams, executor=executor, workers=workers)
     out = assemble(parsed.shape, parsed.chunks, parts)
     return out.astype(parsed.dtype, copy=False)

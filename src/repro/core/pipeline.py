@@ -24,11 +24,11 @@ from ..bitstream import HEADER_SIZE, ChunkHeader, ChunkParams
 from ..errors import InvalidArgumentError, StreamFormatError
 from ..outlier import OutlierCoder, encode_outliers, locate_outliers
 from ..speck import SpeckStats, decode_coefficients, encode_coefficients
-from ..wavelets import WaveletPlan
 from ..quant import calibrate_step
 from ..wavelets import forward as dwt_forward
 from ..wavelets import inverse as dwt_inverse
 from .modes import PsnrMode, PweMode, SizeMode
+from .plans import wavelet_plan
 
 __all__ = ["ChunkReport", "compress_chunk", "decompress_chunk"]
 
@@ -204,7 +204,7 @@ def decompress_chunk(stream: bytes, rank: int | None = None) -> np.ndarray:
     ]
 
     coeffs = decode_coefficients(speck_stream, shape, params.q, nbits=params.speck_nbits)
-    plan = WaveletPlan.create(shape, wavelet=params.wavelet, levels=params.levels)
+    plan = wavelet_plan(shape, wavelet=params.wavelet, levels=params.levels)
     recon = dwt_inverse(coeffs, plan)
     if header.has_outliers and outlier_stream:
         coder = OutlierCoder(int(np.prod(shape)), params.tolerance)

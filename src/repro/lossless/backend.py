@@ -33,6 +33,21 @@ METHODS = ("stored", "rle", "huffman", "rle+huffman", "lz77", "ac", "auto")
 _LZ77_SIZE_LIMIT = 1 << 18  # LZ77 match finding is a Python loop; cap input
 _AC_SIZE_LIMIT = 1 << 16  # arithmetic coding is per-bit Python; cap input
 
+#: ``auto`` skips the Python-loop candidates (LZ77, AC) when the input's
+#: order-0 entropy exceeds this many bits per byte: entropy-dense SPECK
+#: output is essentially incompressible, and on such data those coders
+#: cost hundreds of milliseconds per chunk to save well under 1%.
+_DENSE_ENTROPY_BITS = 7.0
+#: ... but always try everything on tiny inputs, where they are cheap.
+_SMALL_INPUT_BYTES = 1 << 11
+
+
+def _entropy_bits_per_byte(data: bytes) -> float:
+    """Order-0 (byte-histogram) entropy of ``data`` in bits per byte."""
+    counts = np.bincount(np.frombuffer(data, dtype=np.uint8), minlength=256)
+    p = counts[counts > 0] / len(data)
+    return float(-(p * np.log2(p)).sum())
+
 
 def _huffman_pack(data: bytes) -> bytes:
     arr = np.frombuffer(data, dtype=np.uint8)
@@ -55,8 +70,9 @@ def _huffman_unpack(data: bytes) -> bytes:
 def compress(data: bytes, method: str = "auto") -> bytes:
     """Losslessly compress ``data`` with the chosen method.
 
-    ``auto`` tries stored, RLE, Huffman, RLE+Huffman (and LZ77 for small
-    inputs) and keeps the smallest result.
+    ``auto`` tries stored, RLE, Huffman, RLE+Huffman (and, when the data
+    is small or its byte entropy suggests real redundancy, LZ77 and
+    arithmetic coding) and keeps the smallest result.
     """
     if method not in METHODS:
         raise InvalidArgumentError(f"unknown lossless method {method!r}")
@@ -65,6 +81,14 @@ def compress(data: bytes, method: str = "auto") -> bytes:
 
     candidates: list[bytes] = [bytes([_TAG_STORED]) + data]
     if data:
+        # Entropy gate for the expensive pure-Python candidates: on
+        # entropy-dense sections (SPECK output sits near 8 bits/byte)
+        # LZ77 and AC cannot meaningfully beat Huffman, so ``auto``
+        # skips them — this is the hot path of every chunked compress.
+        try_slow = (
+            len(data) <= _SMALL_INPUT_BYTES
+            or _entropy_bits_per_byte(data) < _DENSE_ENTROPY_BITS
+        )
         if method in ("rle", "auto"):
             candidates.append(bytes([_TAG_RLE]) + rle.encode(data))
         if method in ("huffman", "auto"):
@@ -73,9 +97,13 @@ def compress(data: bytes, method: str = "auto") -> bytes:
             candidates.append(
                 bytes([_TAG_RLE_HUFFMAN]) + _huffman_pack(rle.encode(data))
             )
-        if method == "lz77" or (method == "auto" and len(data) <= _LZ77_SIZE_LIMIT):
+        if method == "lz77" or (
+            method == "auto" and try_slow and len(data) <= _LZ77_SIZE_LIMIT
+        ):
             candidates.append(bytes([_TAG_LZ77]) + lz77.encode(data))
-        if method == "ac" or (method == "auto" and len(data) <= _AC_SIZE_LIMIT):
+        if method == "ac" or (
+            method == "auto" and try_slow and len(data) <= _AC_SIZE_LIMIT
+        ):
             candidates.append(bytes([_TAG_AC]) + arith.encode(data))
     if method != "auto" and len(candidates) > 1:
         # A specific method was requested: return it even if larger than

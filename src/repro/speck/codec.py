@@ -37,6 +37,16 @@ from .geometry import Geometry, MaxPyramid
 __all__ = ["SpeckEncoder", "SpeckDecoder", "SpeckStats", "encode", "decode"]
 
 
+def _shared_geometry(shape: tuple[int, ...]) -> Geometry:
+    """Geometry for ``shape`` from the plan cache (shared across chunks).
+
+    Imported lazily to keep the package import graph acyclic.
+    """
+    from ..core.plans import speck_geometry
+
+    return speck_geometry(shape)
+
+
 @dataclass
 class SpeckStats:
     """Per-bitplane bit accounting (used by the evaluation benches)."""
@@ -80,7 +90,7 @@ class SpeckEncoder:
 
     def __init__(self, mags: np.ndarray, negative: np.ndarray) -> None:
         mags = np.asarray(mags, dtype=np.uint64)
-        self.geometry = Geometry(mags.shape)
+        self.geometry = _shared_geometry(mags.shape)
         self.pyramid = MaxPyramid(self.geometry, mags)
         padded = np.zeros(self.geometry.padded_shape, dtype=np.uint64)
         padded[tuple(slice(0, n) for n in mags.shape)] = mags
@@ -177,7 +187,7 @@ class SpeckDecoder:
     """
 
     def __init__(self, shape: tuple[int, ...]) -> None:
-        self.geometry = Geometry(shape)
+        self.geometry = _shared_geometry(shape)
 
     def decode(self, data: bytes, nbits: int | None = None) -> tuple[np.ndarray, np.ndarray]:
         """Returns ``(approx_mags, negative)`` in the original shape.
@@ -193,10 +203,7 @@ class SpeckDecoder:
         header = reader.read_bits(8)
         if header.size < 8:
             raise InvalidArgumentError("SPECK stream shorter than its header")
-        nmax_plus1 = 0
-        for b in header.tolist():
-            nmax_plus1 = (nmax_plus1 << 1) | int(b)
-        nmax = nmax_plus1 - 1
+        nmax = int(np.packbits(header)[0]) - 1
         rec = np.zeros(npix, dtype=np.float64)
         neg = np.zeros(npix, dtype=bool)
         if nmax < 0:

@@ -20,6 +20,8 @@ halved at each split (the canonical SPECK octree/quadtree division).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..errors import InvalidArgumentError
@@ -60,25 +62,52 @@ class Geometry:
             mesh = np.meshgrid(*ranges, indexing="ij")
             offs = np.stack([m.ravel() for m in mesh], axis=-1)
             self._offsets.append(offs.astype(np.int64))
+        # Partition tables: per-depth (n_blocks, n_children) child-index
+        # arrays, built lazily on first use.  A geometry instance is shared
+        # across chunks via the plan cache, so each table amortizes over
+        # every same-shaped chunk; the lock keeps the lazy build safe under
+        # the thread executor.
+        self._child_tables: list[np.ndarray | None] = [None] * self.max_depth
+        self._table_lock = threading.Lock()
+
+    def child_table(self, depth: int) -> np.ndarray:
+        """Full child-index table for ``depth``: row ``i`` lists the
+        (depth+1)-grid flat indices of block ``i``'s children in the
+        deterministic lexicographic order."""
+        table = self._child_tables[depth]
+        if table is None:
+            with self._table_lock:
+                table = self._child_tables[depth]
+                if table is None:
+                    table = self._build_child_table(depth)
+                    self._child_tables[depth] = table
+        return table
+
+    def _build_child_table(self, depth: int) -> np.ndarray:
+        grid = self.grids[depth]
+        grid2 = self.grids[depth + 1]
+        split = self._splits[depth]
+        offs = self._offsets[depth]  # (nchildren, ndim)
+        parents = np.arange(int(np.prod(grid)), dtype=np.int64)
+        coords = np.unravel_index(parents, grid)
+        child_coords = []
+        for ax in range(self.ndim):
+            base = coords[ax][:, None] * (2 if split[ax] else 1)
+            child_coords.append(base + offs[None, :, ax])
+        flat = np.ravel_multi_index(tuple(c.ravel() for c in child_coords), grid2)
+        table = flat.astype(np.int64).reshape(parents.size, offs.shape[0])
+        table.setflags(write=False)
+        return table
 
     def children(self, depth: int, flat_idx: np.ndarray) -> np.ndarray:
         """Flat indices (depth+1 grid) of all children of the given blocks.
 
         Children of one parent are contiguous in the output, parents keep
         their input order — the deterministic traversal order both the
-        encoder and the decoder rely on.
+        encoder and the decoder rely on.  The lookup is a single gather
+        into the precomputed per-depth partition table.
         """
-        grid = self.grids[depth]
-        grid2 = self.grids[depth + 1]
-        split = self._splits[depth]
-        offs = self._offsets[depth]  # (nchildren, ndim)
-        coords = np.unravel_index(flat_idx, grid)  # tuple of (n,) arrays
-        child_coords = []
-        for ax in range(self.ndim):
-            base = coords[ax][:, None] * (2 if split[ax] else 1)
-            child_coords.append(base + offs[None, :, ax])
-        flat = np.ravel_multi_index(tuple(c.ravel() for c in child_coords), grid2)
-        return flat.astype(np.int64)
+        return self.child_table(depth)[flat_idx].reshape(-1)
 
     def pixel_flat_to_array_flat(self, flat_idx: np.ndarray) -> np.ndarray:
         """Map padded-space pixel indices to flat indices in the original

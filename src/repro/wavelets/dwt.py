@@ -116,7 +116,11 @@ def forward(
     if data.ndim < 1 or data.ndim > 3:
         raise InvalidArgumentError("only 1-D, 2-D, and 3-D inputs are supported")
     if plan is None:
-        plan = WaveletPlan.create(data.shape, wavelet=wavelet, levels=levels)
+        # Shared per-shape schedule from the plan cache; imported lazily
+        # because repro.core imports this module at package-init time.
+        from ..core.plans import wavelet_plan
+
+        plan = wavelet_plan(data.shape, wavelet=wavelet, levels=levels)
     fwd, _ = FILTERS[plan.wavelet]
     coeffs = data.copy()
     for level in range(plan.total_levels):

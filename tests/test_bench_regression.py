@@ -1,0 +1,63 @@
+"""Opt-in perf-regression gate (pytest marker ``bench``).
+
+The gate re-times the benchmark cases and fails when any stage regresses
+more than 25% against the reference block in ``BENCH_speed.json``.  It is
+too slow and too machine-sensitive for the default tier-1 run, so it only
+executes when explicitly requested::
+
+    REPRO_BENCH_GATE=1 PYTHONPATH=src python -m pytest -m bench
+
+The ``compare`` unit tests below always run: they pin the gate's own
+decision logic (threshold, noise floor, missing cases) without timing
+anything.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from check_regression import compare, run_gate  # noqa: E402
+
+
+class TestCompareLogic:
+    def test_within_threshold_passes(self):
+        ref = {"sperr": {"compress_s": 0.100, "decompress_s": 0.050}}
+        cur = {"sperr": {"compress_s": 0.110, "decompress_s": 0.060}}
+        assert compare(ref, cur) == []
+
+    def test_regression_flagged(self):
+        ref = {"sperr": {"compress_s": 0.100}}
+        cur = {"sperr": {"compress_s": 0.200}}
+        problems = compare(ref, cur)
+        assert len(problems) == 1
+        assert "sperr.compress" in problems[0]
+
+    def test_noise_floor_suppresses_small_absolute_slowdowns(self):
+        ref = {"tthresh": {"compress_s": 0.016}}
+        cur = {"tthresh": {"compress_s": 0.027}}  # 1.69x, but only +11 ms
+        assert compare(ref, cur) == []
+
+    def test_missing_case_flagged(self):
+        assert compare({"zfp": {"compress_s": 0.1}}, {}) != []
+
+    def test_custom_threshold(self):
+        ref = {"sperr": {"compress_s": 0.200}}
+        cur = {"sperr": {"compress_s": 0.230}}
+        assert compare(ref, cur) == []
+        assert compare(ref, cur, threshold=1.10) != []
+
+
+@pytest.mark.bench
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_GATE") != "1",
+    reason="perf gate is opt-in: set REPRO_BENCH_GATE=1",
+)
+def test_no_perf_regressions():
+    problems = run_gate(quick=True)
+    assert not problems, "perf regressions:\n" + "\n".join(problems)
