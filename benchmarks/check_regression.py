@@ -108,6 +108,44 @@ def _merge_best(a: dict, b: dict) -> dict:
     return out
 
 
+#: The v2 integrity fields (header CRC + per-chunk CRC table) must stay
+#: below this fraction of the container payload on the headline case.
+MAX_CONTAINER_OVERHEAD = 0.001
+
+
+def check_container_overhead() -> list[str]:
+    """Assert the v2 CRC overhead is negligible on the 64^3 bench case.
+
+    Rebuilds the same container in the legacy v1 layout and compares
+    byte counts: the difference is exactly the integrity machinery
+    (4-byte header CRC + 4 bytes per chunk).
+    """
+    from bench_regression import CONFIG, _field, _pwe
+
+    from repro import compress
+    from repro.core.container import build_container, parse_container
+
+    data = _field(tuple(CONFIG["shape_multichunk"]))
+    payload = compress(data, _pwe(data), chunk_shape=CONFIG["chunk"]).payload
+    p = parse_container(payload)
+    v1 = build_container(
+        p.rank, p.dtype, p.mode_code, p.shape, p.chunks, p.streams, version=1
+    )
+    overhead = len(payload) - len(v1)
+    ratio = overhead / len(payload)
+    if ratio >= MAX_CONTAINER_OVERHEAD:
+        return [
+            f"container v2 overhead: {overhead} bytes on a {len(payload)}-byte "
+            f"payload ({100 * ratio:.3f}%), above the "
+            f"{100 * MAX_CONTAINER_OVERHEAD:.1f}% cap"
+        ]
+    print(
+        f"container v2 overhead: {overhead} bytes / {len(payload)} "
+        f"({100 * ratio:.4f}%) - ok"
+    )
+    return []
+
+
 def run_gate(*, quick: bool = False, threshold: float = DEFAULT_THRESHOLD) -> list[str]:
     """Measure the current tree and gate it against BENCH_speed.json.
 
@@ -140,6 +178,7 @@ def run_gate(*, quick: bool = False, threshold: float = DEFAULT_THRESHOLD) -> li
         print("gate tripped - re-measuring once to rule out machine noise")
         timings = _merge_best(timings, measure(repeats=repeats))
         problems = judge(timings)
+    problems += check_container_overhead()
     return problems
 
 

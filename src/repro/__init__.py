@@ -20,6 +20,8 @@ Quickstart::
 
 from .core import (
     CompressionResult,
+    DecodeReport,
+    DecodeResult,
     PsnrMode,
     PweMode,
     SizeMode,
@@ -29,7 +31,9 @@ from .core import (
     tolerance_from_idx,
 )
 from .errors import (
+    AllocationLimitError,
     BudgetError,
+    IntegrityError,
     InvalidArgumentError,
     ReproError,
     StreamFormatError,
@@ -40,6 +44,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CompressionResult",
+    "DecodeReport",
+    "DecodeResult",
     "PweMode",
     "PsnrMode",
     "SizeMode",
@@ -50,6 +56,8 @@ __all__ = [
     "ReproError",
     "InvalidArgumentError",
     "StreamFormatError",
+    "IntegrityError",
+    "AllocationLimitError",
     "BudgetError",
     "UnsupportedModeError",
     "__version__",

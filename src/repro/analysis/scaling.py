@@ -27,6 +27,7 @@ import numpy as np
 from ..core.chunking import plan_chunks, split
 from ..core.modes import PweMode
 from ..core.pipeline import compress_chunk
+from ..errors import InvalidArgumentError
 
 __all__ = ["ScalingStudy", "measure_chunk_times", "simulated_speedups", "lpt_makespan"]
 
@@ -66,7 +67,7 @@ def measure_chunk_times(
 def lpt_makespan(times: list[float], workers: int) -> float:
     """Makespan of a longest-processing-time-first schedule on P workers."""
     if workers < 1:
-        raise ValueError("workers must be positive")
+        raise InvalidArgumentError("workers must be positive")
     loads = [0.0] * min(workers, max(1, len(times)))
     heap = list(loads)
     heapq.heapify(heap)

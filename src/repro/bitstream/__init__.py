@@ -1,6 +1,6 @@
 """Bit-level I/O: batched bit writer/reader and SPERR stream headers."""
 
-from .header import HEADER_SIZE, MAGIC, VERSION, ChunkHeader, ChunkParams
+from .header import HEADER_SIZE, MAGIC, MAX_CHUNK_POINTS, VERSION, ChunkHeader, ChunkParams
 from .reader import BitReader
 from .writer import BitWriter
 
@@ -11,5 +11,6 @@ __all__ = [
     "ChunkParams",
     "HEADER_SIZE",
     "MAGIC",
+    "MAX_CHUNK_POINTS",
     "VERSION",
 ]

@@ -17,15 +17,28 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from ..errors import StreamFormatError
+from ..errors import AllocationLimitError, StreamFormatError
 
-__all__ = ["ChunkHeader", "ChunkParams", "HEADER_SIZE", "MAGIC", "VERSION"]
+__all__ = [
+    "ChunkHeader",
+    "ChunkParams",
+    "HEADER_SIZE",
+    "MAGIC",
+    "MAX_CHUNK_POINTS",
+    "VERSION",
+]
 
 MAGIC = b"SP"
 VERSION = 1
 
 #: Fixed header size in bytes, matching the paper's stated 20-byte header.
 HEADER_SIZE = 20
+
+#: Decode-side cap on points per chunk.  A header's shape fields are
+#: untrusted input; caps keep a forged ``nx/ny/nz`` from requesting a
+#: multi-terabyte ``np.zeros`` before any payload byte is validated.
+#: 2**28 points (2 GiB as float64) is ~16x the paper's largest chunk.
+MAX_CHUNK_POINTS = 1 << 28
 
 _HEADER_FMT = "<2sBBIIII"  # magic, version, flags, nx, ny, nz, speck_nbytes
 assert struct.calcsize(_HEADER_FMT) == HEADER_SIZE
@@ -86,6 +99,13 @@ class ChunkHeader:
             raise StreamFormatError(f"bad magic {magic!r}; not a SPERR stream")
         if version != VERSION:
             raise StreamFormatError(f"unsupported stream version {version}")
+        if nx < 1 or ny < 1 or nz < 1:
+            raise StreamFormatError(f"invalid chunk shape ({nx}, {ny}, {nz})")
+        if nx * ny * nz > MAX_CHUNK_POINTS:
+            raise AllocationLimitError(
+                f"chunk shape ({nx}, {ny}, {nz}) exceeds the "
+                f"{MAX_CHUNK_POINTS}-point decode cap"
+            )
         return cls(
             shape=(nx, ny, nz),
             speck_nbytes=speck_nbytes,

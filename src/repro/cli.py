@@ -14,9 +14,15 @@ import sys
 import numpy as np
 
 from .core import PweMode, SizeMode, compress, decompress, tolerance_from_idx
-from .errors import ReproError
+from .errors import InvalidArgumentError, ReproError, StreamFormatError, UnsupportedModeError
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_ERROR", "EXIT_BAD_ARGS", "EXIT_CORRUPT"]
+
+#: Exit codes: 1 = generic library error, 2 = bad arguments, 3 = corrupt
+#: or unreadable stream.  Scripts can branch on them without parsing text.
+EXIT_ERROR = 1
+EXIT_BAD_ARGS = 2
+EXIT_CORRUPT = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
     d = sub.add_parser("decompress", help="reconstruct a .npy array from a container")
     d.add_argument("input", help="input .sperr container")
     d.add_argument("output", help="output array path (.npy)")
+    d.add_argument(
+        "--salvage", action="store_true",
+        help="recover every intact chunk of a damaged container instead of "
+        "failing; damaged chunks are filled with --fill-value",
+    )
+    d.add_argument(
+        "--fill-value", type=float, default=float("nan"),
+        help="fill for unrecoverable chunks in --salvage mode (default NaN)",
+    )
 
     i = sub.add_parser("info", help="summarize a .sperr container")
     i.add_argument("input", help="input .sperr container")
@@ -118,26 +133,35 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 def _cmd_decompress(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as f:
         payload = f.read()
+    if args.salvage:
+        result = decompress(payload, on_error="salvage", fill_value=args.fill_value)
+        report = result.report
+        if not report.ok:
+            print(f"salvage: {report.summary()}", file=sys.stderr)
+            for note in report.notes:
+                print(f"salvage: {note}", file=sys.stderr)
+        np.save(args.output, result.data)
+        return 0
     np.save(args.output, decompress(payload))
     return 0
 
 
+_MODE_NAMES = {0: "PWE-bounded", 1: "size-bounded", 2: "PSNR-bounded"}
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
-    import struct
+    from .core.container import parse_container
 
     with open(args.input, "rb") as f:
         payload = f.read()
-    if payload[:8] != b"SPRRPY1\x00":
-        print("not a SPERR container", file=sys.stderr)
-        return 1
-    rank, dtype_code, mode_code, lossless_flag = struct.unpack_from("<BBBB", payload, 8)
-    shape = struct.unpack_from(f"<{rank}Q", payload, 12)
-    (n_chunks,) = struct.unpack_from("<I", payload, 12 + 8 * rank)
-    npoints = int(np.prod(shape))
-    print(f"shape:    {tuple(shape)}")
-    print(f"dtype:    {'float32' if dtype_code == 0 else 'float64'}")
-    print(f"mode:     {'PWE-bounded' if mode_code == 0 else 'size-bounded'}")
-    print(f"chunks:   {n_chunks}")
+    parsed = parse_container(payload)
+    npoints = int(np.prod(parsed.shape))
+    crc_note = "CRC-protected" if parsed.format_version >= 2 else "no checksums"
+    print(f"format:   v{parsed.format_version} ({crc_note})")
+    print(f"shape:    {parsed.shape}")
+    print(f"dtype:    {parsed.dtype}")
+    print(f"mode:     {_MODE_NAMES.get(parsed.mode_code, f'code {parsed.mode_code}')}")
+    print(f"chunks:   {len(parsed.chunks)}")
     print(f"size:     {len(payload)} bytes ({8.0 * len(payload) / npoints:.3f} bpp)")
     return 0
 
@@ -156,7 +180,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 f"{sorted(ALL_COMPRESSORS)}",
                 file=sys.stderr,
             )
-            return 1
+            return EXIT_BAD_ARGS
         comp = ALL_COMPRESSORS[name]()
         p = rd_point(comp, data, args.idx)
         rows.append(
@@ -222,9 +246,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "extract":
             return _cmd_extract(args)
         return _cmd_info(args)
+    except (InvalidArgumentError, UnsupportedModeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_ARGS
+    except StreamFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CORRUPT
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

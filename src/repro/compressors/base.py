@@ -23,10 +23,24 @@ import abc
 import numpy as np
 
 from ..core.modes import PsnrMode, PweMode, SizeMode
-from ..errors import InvalidArgumentError, UnsupportedModeError
+from ..errors import (
+    MAX_DECODE_POINTS,
+    InvalidArgumentError,
+    UnsupportedModeError,
+    checked_shape,
+    decode_guard,
+)
 from ..metrics import GAIN_DB_PER_BIT
 
-__all__ = ["Compressor", "PsnrMode", "Mode", "psnr_target_for_idx"]
+__all__ = [
+    "Compressor",
+    "PsnrMode",
+    "Mode",
+    "MAX_DECODE_POINTS",
+    "checked_shape",
+    "decode_guard",
+    "psnr_target_for_idx",
+]
 
 Mode = PweMode | SizeMode | PsnrMode
 

@@ -11,27 +11,71 @@ Error-bound semantics are preserved exactly — each chunk satisfies the
 same per-point criterion, so the assembled volume does too.  The rate
 cost of chunk boundaries mirrors what the paper's Fig. 5 documents for
 SPERR.
+
+Framing is versioned like the main container: ``CHK2`` payloads carry a
+header CRC32 and per-chunk CRC32s; legacy ``CHNK`` payloads (no CRCs)
+remain readable.  :meth:`ChunkedCompressor.decompress` supports the same
+``on_error="salvage"`` fault-isolation mode as
+:func:`repro.core.container.decompress`.
 """
 
 from __future__ import annotations
 
+import math
 import struct
+import zlib
+from functools import partial
 
 import numpy as np
 
 from ..core.chunking import Chunk, assemble, plan_chunks
-from ..core.parallel import chunk_map, map_chunk_arrays
-from ..errors import InvalidArgumentError, StreamFormatError
+from ..core.container import (
+    MAX_TOTAL_POINTS,
+    ChunkDecodeStatus,
+    DecodeReport,
+    DecodeResult,
+)
+from ..core.parallel import map_chunk_arrays, robust_chunk_map
+from ..errors import (
+    AllocationLimitError,
+    IntegrityError,
+    InvalidArgumentError,
+    StreamFormatError,
+)
 from .base import Compressor, Mode
 
 __all__ = ["ChunkedCompressor"]
 
-_MAGIC = b"CHNK"
+_MAGIC_V1 = b"CHNK"
+_MAGIC_V2 = b"CHK2"
+
+#: byte offset of the v2 header-CRC field (right after the magic)
+_HEADER_CRC_OFFSET = 4
 
 
 def _compress_part(part: np.ndarray, inner: Compressor, mode: Mode) -> bytes:
     """Module-level chunk job (picklable for the process executor)."""
     return inner.compress(part, mode)
+
+
+def _salvage_part(
+    item: tuple[bytes, tuple[int, ...], int | None], inner: Compressor
+) -> tuple[str, np.ndarray | str]:
+    """Salvage-mode tile job: CRC check + decode, never raises."""
+    stream, expected_shape, crc = item
+    if crc is not None and zlib.crc32(stream) != crc:
+        return ("crc_mismatch", f"chunk CRC mismatch (stored {crc:#010x})")
+    try:
+        out = inner.decompress(stream)
+        if tuple(out.shape) != tuple(expected_shape):
+            return (
+                "decode_error",
+                f"tile decoded to shape {tuple(out.shape)}, bounds say "
+                f"{tuple(expected_shape)}",
+            )
+        return ("ok", out)
+    except Exception as exc:  # noqa: BLE001 - isolation boundary by design
+        return ("decode_error", f"{type(exc).__name__}: {exc}")
 
 
 class ChunkedCompressor(Compressor):
@@ -70,7 +114,8 @@ class ChunkedCompressor(Compressor):
             workers=self.workers,
         )
         head = bytearray()
-        head += _MAGIC
+        head += _MAGIC_V2
+        head += b"\x00\x00\x00\x00"  # header CRC, patched below
         head += struct.pack("<B", data.ndim)
         head += struct.pack(f"<{data.ndim}Q", *data.shape)
         head += struct.pack("<I", len(chunks))
@@ -79,14 +124,27 @@ class ChunkedCompressor(Compressor):
                 head += struct.pack("<QQ", a, b)
         for p in payloads:
             head += struct.pack("<Q", len(p))
+        for p in payloads:
+            head += struct.pack("<I", zlib.crc32(p))
+        struct.pack_into("<I", head, _HEADER_CRC_OFFSET, zlib.crc32(bytes(head)))
         return bytes(head) + b"".join(payloads)
 
-    def decompress(self, payload: bytes) -> np.ndarray:
-        """Decompress tiles (optionally in parallel) and reassemble."""
-        if payload[:4] != _MAGIC:
+    def _parse(
+        self, payload: bytes
+    ) -> tuple[int, tuple[int, ...], list[Chunk], list[bytes], list[int | None]]:
+        """Decode the tile framing (v1 or v2) without touching tile payloads."""
+        if payload[:4] == _MAGIC_V1:
+            version = 1
+        elif payload[:4] == _MAGIC_V2:
+            version = 2
+        else:
             raise StreamFormatError("not a chunked-compressor payload")
         pos = 4
         try:
+            stored_crc = None
+            if version >= 2:
+                (stored_crc,) = struct.unpack_from("<I", payload, pos)
+                pos += 4
             (rank,) = struct.unpack_from("<B", payload, pos)
             pos += 1
             if rank < 1 or rank > 3:
@@ -95,16 +153,40 @@ class ChunkedCompressor(Compressor):
             pos += 8 * rank
             (n_chunks,) = struct.unpack_from("<I", payload, pos)
             pos += 4
+            npoints = math.prod(int(s) for s in shape)
+            if npoints > MAX_TOTAL_POINTS:
+                raise AllocationLimitError(
+                    f"chunked payload declares {npoints} points, beyond the "
+                    f"{MAX_TOTAL_POINTS}-point decode cap"
+                )
+            if n_chunks > max(1, npoints):
+                raise StreamFormatError(
+                    f"chunked payload declares {n_chunks} chunks for "
+                    f"{npoints} points"
+                )
             chunks = []
             for _ in range(n_chunks):
                 bounds = []
-                for _ in range(rank):
+                for axis in range(rank):
                     a, b = struct.unpack_from("<QQ", payload, pos)
                     pos += 16
+                    if a >= b or b > int(shape[axis]):
+                        raise StreamFormatError(
+                            f"chunk bounds ({a}, {b}) outside axis extent "
+                            f"{shape[axis]}"
+                        )
                     bounds.append((a, b))
                 chunks.append(Chunk(bounds=tuple(bounds)))
             sizes = struct.unpack_from(f"<{n_chunks}Q", payload, pos)
             pos += 8 * n_chunks
+            crcs: list[int | None] = [None] * n_chunks
+            if version >= 2:
+                crcs = list(struct.unpack_from(f"<{n_chunks}I", payload, pos))
+                pos += 4 * n_chunks
+                header = bytearray(payload[:pos])
+                header[_HEADER_CRC_OFFSET : _HEADER_CRC_OFFSET + 4] = b"\x00" * 4
+                if zlib.crc32(bytes(header)) != stored_crc:
+                    raise IntegrityError("chunked header CRC mismatch")
         except struct.error as exc:
             raise StreamFormatError(f"chunked header truncated: {exc}") from exc
         # Validate the declared section table against the payload that is
@@ -125,8 +207,62 @@ class ChunkedCompressor(Compressor):
         for size in sizes:
             streams.append(payload[pos : pos + size])
             pos += size
+        return rank, tuple(int(s) for s in shape), chunks, streams, crcs
 
-        parts = chunk_map(
-            self.inner.decompress, streams, executor=self.executor, workers=self.workers
+    def decompress(
+        self,
+        payload: bytes,
+        *,
+        on_error: str = "raise",
+        fill_value: float = float("nan"),
+        timeout: float | None = None,
+    ) -> np.ndarray | DecodeResult:
+        """Decompress tiles (optionally in parallel) and reassemble.
+
+        Mirrors :func:`repro.core.container.decompress`: the default
+        ``on_error="raise"`` verifies tile CRCs (v2) and raises on the
+        first damaged tile; ``on_error="salvage"`` recovers every intact
+        tile, fills the rest with ``fill_value``, and returns a
+        :class:`~repro.core.container.DecodeResult`.
+        """
+        if on_error not in ("raise", "salvage"):
+            raise InvalidArgumentError(
+                f"on_error must be 'raise' or 'salvage', got {on_error!r}"
+            )
+        _rank, shape, chunks, streams, crcs = self._parse(payload)
+
+        if on_error == "raise":
+            for i, (stream, crc) in enumerate(zip(streams, crcs)):
+                if crc is not None and zlib.crc32(stream) != crc:
+                    raise IntegrityError(f"chunk {i} CRC mismatch")
+            parts, _notes = robust_chunk_map(
+                self.inner.decompress,
+                streams,
+                executor=self.executor,
+                workers=self.workers,
+                timeout=timeout,
+            )
+            return assemble(shape, chunks, parts)
+
+        version = 2 if crcs and crcs[0] is not None else 1
+        report = DecodeReport(format_version=version)
+        items = [(s, c.shape, crc) for s, c, crc in zip(streams, chunks, crcs)]
+        results, notes = robust_chunk_map(
+            partial(_salvage_part, inner=self.inner),
+            items,
+            executor=self.executor,
+            workers=self.workers,
+            timeout=timeout,
         )
-        return assemble(tuple(int(s) for s in shape), chunks, parts)
+        report.notes.extend(notes)
+        parts = []
+        for i, ((status, value), chunk) in enumerate(zip(results, chunks)):
+            if status == "ok":
+                report.chunk_status.append(ChunkDecodeStatus(index=i, status="ok"))
+                parts.append(value)
+            else:
+                report.chunk_status.append(
+                    ChunkDecodeStatus(index=i, status=status, error=str(value))
+                )
+                parts.append(np.full(chunk.shape, fill_value, dtype=np.float64))
+        return DecodeResult(data=assemble(shape, chunks, parts), report=report)

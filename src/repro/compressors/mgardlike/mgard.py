@@ -14,6 +14,7 @@ Fig. 9 bench records rather than hides.
 
 from __future__ import annotations
 
+import math
 import struct
 
 import numpy as np
@@ -21,7 +22,7 @@ import numpy as np
 from ... import lossless
 from ...core.modes import PweMode
 from ...errors import InvalidArgumentError, StreamFormatError
-from ..base import Compressor, Mode
+from ..base import Compressor, Mode, checked_shape, decode_guard
 from ..szlike import codec as _bins
 from .hierarchy import decompose, level_schedule, reconstruct
 
@@ -93,18 +94,35 @@ class MgardLikeCompressor(Compressor):
         """Decode coefficients and invert the hierarchy."""
         if payload[:4] != _MAGIC:
             raise StreamFormatError("not an mgard-like payload")
+        with decode_guard(self.name):
+            return self._decompress_body(payload)
+
+    def _decompress_body(self, payload: bytes) -> np.ndarray:
         pos = 4
         nd, t, levels = struct.unpack_from("<BdI", payload, pos)
         pos += struct.calcsize("<BdI")
+        if not 1 <= nd <= 3:
+            raise StreamFormatError(f"mgard-like payload declares rank {nd}")
         shape = struct.unpack_from(f"<{nd}Q", payload, pos)
         pos += 8 * nd
         n_bins, n_wide = struct.unpack_from("<QQ", payload, pos)
         pos += 16
-        shape = tuple(int(s) for s in shape)
+        shape = checked_shape(shape, self.name)
+        # ``levels`` drives the reconstruction loop; the hierarchy halves
+        # each axis per level, so any real stream stays well under 64.
+        if levels > 64:
+            raise StreamFormatError(
+                f"mgard-like payload declares {levels} hierarchy levels"
+            )
 
         bins_payload = payload[pos : pos + n_bins]
         wide_payload = payload[pos + n_bins : pos + n_bins + n_wide]
         codes, escape = _bins.decode_bins(bins_payload)
+        if codes.size != math.prod(shape):
+            raise StreamFormatError(
+                f"mgard-like payload carries {codes.size} quantization codes "
+                f"for {math.prod(shape)} points"
+            )
         exact = np.frombuffer(lossless.decompress(wide_payload), dtype="<f8")
 
         step = t / (nd * levels + 1)

@@ -97,6 +97,15 @@ def decode_bins(payload: bytes) -> tuple[np.ndarray, np.ndarray]:
         raise StreamFormatError("bin stream code book length mismatch")
     if n == 0:
         return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+    # Untrusted counts: a Huffman code spends at least one bit per symbol
+    # and the stream cannot hold more bits than bytes remain, so anything
+    # outside those bounds is corruption — reject before allocating ``n``
+    # output symbols.
+    if nbits > 8 * (len(raw) - 20 - consumed) or n > nbits:
+        raise StreamFormatError(
+            f"bin stream declares {n} symbols / {nbits} bits in "
+            f"{len(raw) - 20 - consumed} bytes"
+        )
     symbols = huffman.decode(raw[20 + consumed :], int(nbits), int(n), code_book)
     escape_mask = symbols == ESCAPE
     codes = symbols - QUANT_RADIUS

@@ -15,7 +15,7 @@ import numpy as np
 
 from ...core.modes import PweMode
 from ...errors import InvalidArgumentError, StreamFormatError
-from ..base import Compressor, Mode
+from ..base import Compressor, Mode, checked_shape, decode_guard
 from . import codec
 from .interp import coarse_indices, interpolation_schedule, predict
 from .lorenzo import lorenzo_decode, lorenzo_encode
@@ -151,6 +151,10 @@ class SzLikeCompressor(Compressor):
         """Replay the prediction schedule with decoded residuals."""
         if payload[:4] != _MAGIC:
             raise StreamFormatError("not an SZ-like payload")
+        with decode_guard(self.name):
+            return self._decompress_body(payload)
+
+    def _decompress_body(self, payload: bytes) -> np.ndarray:
         pos = 4
         ndim, t = struct.unpack_from("<Bd", payload, pos)
         pos += struct.calcsize("<Bd")
@@ -169,11 +173,17 @@ class SzLikeCompressor(Compressor):
         pos += n_raw
         bins_payload = payload[pos : pos + n_bins]
 
-        shape = tuple(int(s) for s in shape)
+        shape = checked_shape(shape, self.name)
+        npoints = int(np.prod(shape))
         if interpolation == "lorenzo":
             from ... import lossless as _lossless
 
             codes, escape = codec.decode_bins(bins_payload)
+            if codes.size != npoints:
+                raise StreamFormatError(
+                    f"SZ-like payload carries {codes.size} quantization codes "
+                    f"for {npoints} points"
+                )
             wide = np.frombuffer(_lossless.decompress(raw_payload), dtype="<i4")
             exact = np.frombuffer(_lossless.decompress(coarse_payload), dtype="<f8")
             return lorenzo_decode(shape, t, codes, escape, wide, exact)
@@ -185,6 +195,12 @@ class SzLikeCompressor(Compressor):
         recon[np.ix_(*coarse)] = coarse_vals
 
         codes_flat, escapes_flat = codec.decode_bins(bins_payload)
+        n_coarse = int(np.prod([len(g) for g in coarse]))
+        if codes_flat.size != npoints - n_coarse:
+            raise StreamFormatError(
+                f"SZ-like payload carries {codes_flat.size} quantization "
+                f"codes for {npoints - n_coarse} predicted points"
+            )
         from ... import lossless as _lossless
 
         wide_vals = np.frombuffer(_lossless.decompress(raw_payload), dtype="<i4")

@@ -19,6 +19,7 @@ the requested RMSE, exploiting the orthogonality of the factors
 
 from __future__ import annotations
 
+import math
 import struct
 
 import numpy as np
@@ -26,7 +27,7 @@ import numpy as np
 from ...errors import InvalidArgumentError, StreamFormatError
 from ...quant import calibrate_step
 from ...speck import decode_coefficients, encode_coefficients
-from ..base import Compressor, Mode, PsnrMode
+from ..base import Compressor, Mode, PsnrMode, checked_shape, decode_guard
 from .tucker import hosvd, tucker_reconstruct
 
 __all__ = ["TthreshLikeCompressor"]
@@ -79,19 +80,37 @@ class TthreshLikeCompressor(Compressor):
         """Decode the core and reconstruct through the stored factors."""
         if payload[:4] != _MAGIC:
             raise StreamFormatError("not a tthresh-like payload")
+        with decode_guard(self.name):
+            return self._decompress_body(payload)
+
+    def _decompress_body(self, payload: bytes) -> np.ndarray:
         pos = 4
         nd, wide, q, nbits, _psnr = struct.unpack_from("<BBdQd", payload, pos)
         pos += struct.calcsize("<BBdQd")
+        if not 1 <= nd <= 3:
+            raise StreamFormatError(f"tthresh-like payload declares rank {nd}")
+        if wide not in (0, 1):
+            raise StreamFormatError(f"unknown tthresh-like factor dtype {wide}")
+        if not (math.isfinite(q) and q >= 0):
+            raise StreamFormatError(f"invalid tthresh-like step {q!r}")
         shape = struct.unpack_from(f"<{nd}Q", payload, pos)
         pos += 8 * nd
+        shape = checked_shape(shape, self.name)
         factor_shapes = []
-        for _ in range(nd):
+        for i in range(nd):
             rows, cols = struct.unpack_from("<QQ", payload, pos)
             pos += 16
+            # mode-i factor is (shape[i], min(shape[i], prod other dims)):
+            # tie both extents to the declared data shape so a forged table
+            # cannot size the factor matrices or the core arbitrarily.
+            if rows != shape[i] or not 1 <= cols <= rows:
+                raise StreamFormatError(
+                    f"tthresh-like factor {i} shape ({rows}, {cols}) is "
+                    f"inconsistent with data shape {shape}"
+                )
             factor_shapes.append((int(rows), int(cols)))
         (fac_len,) = struct.unpack_from("<Q", payload, pos)
         pos += 8
-        shape = tuple(int(s) for s in shape)
         dtype = "<f8" if wide else "<f4"
         itemsize = 8 if wide else 4
 
@@ -100,9 +119,14 @@ class TthreshLikeCompressor(Compressor):
         for rows, cols in factor_shapes:
             count = rows * cols
             chunk = payload[fpos : fpos + count * itemsize]
-            factors.append(
-                np.frombuffer(chunk, dtype=dtype).astype(np.float64).reshape(rows, cols)
-            )
+            # corrupt float32 bit patterns may not cast cleanly; the
+            # values are garbage either way, so convert silently
+            with np.errstate(invalid="ignore"):
+                factors.append(
+                    np.frombuffer(chunk, dtype=dtype)
+                    .astype(np.float64)
+                    .reshape(rows, cols)
+                )
             fpos += count * itemsize
         if fpos - pos != fac_len:
             raise StreamFormatError("tthresh-like factor section length mismatch")

@@ -18,6 +18,7 @@ pure-Python reproduction, noted in DESIGN.md).
 
 from __future__ import annotations
 
+import math
 import struct
 
 import numpy as np
@@ -26,7 +27,7 @@ from ...bitstream import BitReader, BitWriter
 from ...core.modes import PweMode, SizeMode
 from ...core.plans import zfp_scan_order
 from ...errors import InvalidArgumentError, StreamFormatError
-from ..base import Compressor, Mode
+from ..base import Compressor, Mode, checked_shape, decode_guard
 from .transform import (
     PRECISION,
     block_exponents,
@@ -277,19 +278,41 @@ class ZfpLikeCompressor(Compressor):
         """Decode blocks, invert the transform, crop the padding."""
         if payload[:4] != _MAGIC:
             raise StreamFormatError("not a zfp-like payload")
+        with decode_guard(self.name):
+            return self._decompress_body(payload)
+
+    def _decompress_body(self, payload: bytes) -> np.ndarray:
         pos = 4
         nd, mode_code, param, nbits = struct.unpack_from("<BBdQ", payload, pos)
         pos += struct.calcsize("<BBdQ")
+        if not 1 <= nd <= 3:
+            raise StreamFormatError(f"zfp-like payload declares rank {nd}")
+        if mode_code not in (0, 1):
+            raise StreamFormatError(f"unknown zfp-like mode code {mode_code}")
+        if mode_code == 1 and not (math.isfinite(param) and param > 0):
+            raise StreamFormatError(f"invalid zfp-like tolerance {param!r}")
         shape = struct.unpack_from(f"<{nd}Q", payload, pos)
         pos += 8 * nd
         (block_bits,) = struct.unpack_from("<I", payload, pos)
         pos += 4
-        shape = tuple(int(s) for s in shape)
+        shape = checked_shape(shape, self.name)
 
         padded_shape = tuple(-(-n // 4) * 4 for n in shape)
         grid = tuple(p // 4 for p in padded_shape)
-        nb = int(np.prod(grid))
+        nb = math.prod(grid)
         size = 4**nd
+        if nbits > 8 * len(payload):
+            raise StreamFormatError(
+                f"zfp-like payload declares {nbits} bits in "
+                f"{len(payload) - pos} bytes"
+            )
+        # Every block costs at least its nonzero flag bit, so a stream with
+        # fewer bits than blocks is corrupt — reject before sizing the
+        # ``(nb, size)`` workspace from the forged shape.
+        if nb > max(1, int(nbits)):
+            raise StreamFormatError(
+                f"zfp-like payload declares {nb} blocks in {nbits} bits"
+            )
         reader = BitReader(payload[pos:], nbits=int(nbits))
         max_bits = block_bits if mode_code == 0 else None
 
@@ -327,8 +350,11 @@ class ZfpLikeCompressor(Compressor):
         iblocks = coeffs.reshape((nb,) + (4,) * nd).copy()
         inv_lift(iblocks)
         flat = iblocks.reshape(nb, -1).astype(np.float64)
-        scale = np.exp2((exps - _SCALE_EXP).astype(np.float64))
-        flat *= scale[:, None]
+        # a corrupt stream can carry absurd exponents; the values are
+        # garbage either way, so let them saturate silently
+        with np.errstate(over="ignore"):
+            scale = np.exp2((exps - _SCALE_EXP).astype(np.float64))
+            flat *= scale[:, None]
         flat[~nonzero] = 0.0
         out = _unblockify(flat.reshape((nb,) + (4,) * nd), shape, padded_shape, grid)
         return out

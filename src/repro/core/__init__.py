@@ -2,20 +2,44 @@
 and the container-level compress/decompress API."""
 
 from .chunking import DEFAULT_CHUNK, Chunk, assemble, plan_chunks, split
-from .container import CompressionResult, compress, decompress
+from .container import (
+    CONTAINER_VERSION,
+    ChunkDecodeStatus,
+    CompressionResult,
+    DecodeReport,
+    DecodeResult,
+    ParsedContainer,
+    compress,
+    decompress,
+    parse_container,
+)
 from .modes import Q_FACTOR, PsnrMode, PweMode, SizeMode, data_range, tolerance_from_idx
-from .parallel import EXECUTORS, chunk_map, default_workers, map_chunk_arrays, shutdown_pools
+from .parallel import (
+    EXECUTORS,
+    chunk_map,
+    default_workers,
+    map_chunk_arrays,
+    robust_chunk_map,
+    shutdown_pools,
+)
 from .plans import PlanCache, cache_stats, clear_plan_caches
 from .progressive import decompress_multires, truncate
 from .timeseries import compress_frames, decompress_frame, decompress_frames, frame_count
 from .pipeline import ChunkReport, compress_chunk, decompress_chunk
 
 __all__ = [
+    "CONTAINER_VERSION",
     "Chunk",
+    "ChunkDecodeStatus",
     "ChunkReport",
     "CompressionResult",
     "DEFAULT_CHUNK",
+    "DecodeReport",
+    "DecodeResult",
     "EXECUTORS",
+    "ParsedContainer",
+    "parse_container",
+    "robust_chunk_map",
     "PlanCache",
     "PweMode",
     "PsnrMode",

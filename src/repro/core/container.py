@@ -1,51 +1,86 @@
 """Multi-chunk container format and the top-level compress/decompress.
 
-Layout of a ``.sperr`` container::
+Layout of a version-2 ``.sperr`` container::
 
-    magic "SPRRPY1\\0"                      8 bytes
+    magic "SPRRPY2\\0"                      8 bytes
     rank                 u8
     dtype code           u8  (0=float32, 1=float64)
-    mode code            u8  (0=PWE, 1=size)
+    mode code            u8  (0=PWE, 1=size, 2=PSNR)
     lossless flag        u8
+    header CRC32         u32 (over the whole header, this field zeroed)
     global shape         rank * u64
     n_chunks             u32
     per-chunk bounds     n_chunks * rank * 2 * u64
     per-chunk byte size  n_chunks * u64
+    per-chunk CRC32      n_chunks * u32
     chunk payloads       (each optionally lossless-compressed)
 
-Each chunk payload is the self-contained stream of
+Version 1 (magic ``SPRRPY1\\0``) lacks the two CRC layers; v1 payloads
+remain readable and decode bit-identically (`parse_container` reports
+``format_version``).  Each chunk payload is the self-contained stream of
 :func:`repro.core.pipeline.compress_chunk`, mirroring real SPERR's
-concatenation of independent per-chunk bitstreams (Sec. III-D).
+concatenation of independent per-chunk bitstreams (Sec. III-D).  The
+per-chunk CRCs make chunk independence a *fault-isolation* boundary:
+:func:`decompress` can verify, skip, and report damaged chunks
+(``on_error="salvage"``) instead of losing the whole volume.
 """
 
 from __future__ import annotations
 
+import math
 import struct
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from .. import lossless
-from ..errors import InvalidArgumentError, StreamFormatError
 from functools import partial
 
+from .. import lossless
+from ..errors import (
+    AllocationLimitError,
+    IntegrityError,
+    InvalidArgumentError,
+    StreamFormatError,
+    decode_guard,
+)
 from .chunking import Chunk, assemble, plan_chunks
 from .modes import PsnrMode, PweMode, SizeMode
-from .parallel import chunk_map, map_chunk_arrays
+from .parallel import map_chunk_arrays, robust_chunk_map
 from .pipeline import ChunkReport, compress_chunk, decompress_chunk
 
 __all__ = [
     "CompressionResult",
     "ParsedContainer",
+    "ChunkDecodeStatus",
+    "DecodeReport",
+    "DecodeResult",
+    "CONTAINER_VERSION",
+    "MAX_TOTAL_POINTS",
     "compress",
     "decompress",
     "parse_container",
     "build_container",
 ]
 
-_MAGIC = b"SPRRPY1\x00"
+_MAGIC_V1 = b"SPRRPY1\x00"
+_MAGIC_V2 = b"SPRRPY2\x00"
+_MAGIC_BY_VERSION = {1: _MAGIC_V1, 2: _MAGIC_V2}
+
+#: Container format version written by :func:`build_container` by default.
+CONTAINER_VERSION = 2
+
+#: Hard cap on the number of points a container may declare before the
+#: decoder allocates the output volume.  Untrusted shape fields beyond
+#: this raise :class:`~repro.errors.AllocationLimitError` instead of
+#: letting a forged header request terabytes from ``np.empty``.
+MAX_TOTAL_POINTS = 1 << 31
+
 _DTYPES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
 _DTYPE_BY_CODE = {v: k for k, v in _DTYPES.items()}
+
+#: byte offset of the v2 header-CRC field (after magic + 4 meta bytes)
+_HEADER_CRC_OFFSET = 12
 
 
 @dataclass
@@ -83,9 +118,36 @@ def _compress_chunk_job(
     return compress_chunk(part, mode, wavelet=wavelet, levels=levels)
 
 
-def _decompress_chunk_job(stream: bytes, rank: int) -> np.ndarray:
+def _decompress_chunk_job(
+    item: tuple[bytes, tuple[int, ...]], rank: int
+) -> np.ndarray:
     """Module-level chunk-decode job (picklable for the process executor)."""
-    return decompress_chunk(lossless.decompress(stream), rank=rank)
+    stream, expected_shape = item
+    with decode_guard("sperr"):
+        return decompress_chunk(
+            lossless.decompress(stream), rank=rank, expected_shape=expected_shape
+        )
+
+
+def _salvage_chunk_job(
+    item: tuple[bytes, tuple[int, ...], int | None], rank: int
+) -> tuple[str, np.ndarray | str]:
+    """Salvage-mode chunk job: never raises, returns ``(status, value)``.
+
+    ``value`` is the decoded array on success, or a one-line exception
+    summary on failure.  CRC verification happens here (inside the
+    executor) so a damaged chunk costs one checksum, not one traceback.
+    """
+    stream, expected_shape, crc = item
+    if crc is not None and zlib.crc32(stream) != crc:
+        return ("crc_mismatch", f"chunk CRC mismatch (stored {crc:#010x})")
+    try:
+        out = decompress_chunk(
+            lossless.decompress(stream), rank=rank, expected_shape=expected_shape
+        )
+        return ("ok", out)
+    except Exception as exc:  # noqa: BLE001 - isolation boundary by design
+        return ("decode_error", f"{type(exc).__name__}: {exc}")
 
 
 def compress(
@@ -163,7 +225,11 @@ def compress(
 @dataclass(frozen=True)
 class ParsedContainer:
     """Structural view of a container payload (headers decoded, chunk
-    streams still lossless-compressed)."""
+    streams still lossless-compressed).
+
+    ``format_version`` is 1 for legacy payloads and 2 for CRC-protected
+    ones; ``chunk_crcs`` is ``None`` on v1 payloads.
+    """
 
     rank: int
     dtype: np.dtype
@@ -171,46 +237,88 @@ class ParsedContainer:
     shape: tuple[int, ...]
     chunks: list[Chunk]
     streams: list[bytes]
+    format_version: int = CONTAINER_VERSION
+    chunk_crcs: tuple[int, ...] | None = None
 
 
 def parse_container(payload: bytes) -> ParsedContainer:
-    """Decode the container framing without touching chunk payloads."""
-    if payload[:8] != _MAGIC:
+    """Decode the container framing without touching chunk payloads.
+
+    Accepts both v1 and v2 payloads; on v2, the header CRC is verified
+    before any field is trusted (:class:`~repro.errors.IntegrityError` on
+    mismatch).  Chunk-stream CRCs are *returned*, not verified — chunk
+    verification belongs to :func:`decompress`, which can salvage.
+    """
+    if payload[:8] == _MAGIC_V1:
+        version = 1
+    elif payload[:8] == _MAGIC_V2:
+        version = 2
+    else:
         raise StreamFormatError("not a SPERR container (bad magic)")
     try:
-        return _parse_container_body(payload)
+        return _parse_container_body(payload, version)
     except struct.error as exc:
         raise StreamFormatError(f"container framing truncated: {exc}") from exc
 
 
-def _parse_container_body(payload: bytes) -> ParsedContainer:
+def _parse_container_body(payload: bytes, version: int) -> ParsedContainer:
     pos = 8
     rank, dtype_code, mode_code, _lossless_flag = struct.unpack_from("<BBBB", payload, pos)
     pos += 4
+    stored_header_crc = None
+    if version >= 2:
+        (stored_header_crc,) = struct.unpack_from("<I", payload, pos)
+        pos += 4
     if rank < 1 or rank > 3:
         raise StreamFormatError(f"invalid rank {rank}")
     if dtype_code not in _DTYPE_BY_CODE:
         raise StreamFormatError(f"invalid dtype code {dtype_code}")
     shape = struct.unpack_from(f"<{rank}Q", payload, pos)
     pos += 8 * rank
+    npoints = math.prod(int(s) for s in shape)
+    if npoints > MAX_TOTAL_POINTS:
+        raise AllocationLimitError(
+            f"container declares {npoints} points, beyond the "
+            f"{MAX_TOTAL_POINTS}-point decode cap"
+        )
     (n_chunks,) = struct.unpack_from("<I", payload, pos)
     pos += 4
+    if n_chunks > max(1, npoints):
+        raise StreamFormatError(
+            f"container declares {n_chunks} chunks for {npoints} points"
+        )
     chunks = []
     for _ in range(n_chunks):
         bounds = []
-        for _ in range(rank):
+        for axis in range(rank):
             a, b = struct.unpack_from("<QQ", payload, pos)
             pos += 16
+            if a >= b or b > int(shape[axis]):
+                raise StreamFormatError(
+                    f"chunk bounds ({a}, {b}) outside axis extent {shape[axis]}"
+                )
             bounds.append((a, b))
         chunks.append(Chunk(bounds=tuple(bounds)))
     sizes = struct.unpack_from(f"<{n_chunks}Q", payload, pos)
     pos += 8 * n_chunks
+    chunk_crcs: tuple[int, ...] | None = None
+    if version >= 2:
+        chunk_crcs = struct.unpack_from(f"<{n_chunks}I", payload, pos)
+        pos += 4 * n_chunks
+        header = bytearray(payload[:pos])
+        header[_HEADER_CRC_OFFSET : _HEADER_CRC_OFFSET + 4] = b"\x00\x00\x00\x00"
+        if zlib.crc32(bytes(header)) != stored_header_crc:
+            raise IntegrityError("container header CRC mismatch")
+    declared = sum(int(s) for s in sizes)
+    if declared > len(payload) - pos:
+        raise StreamFormatError(
+            f"container truncated: sections declare {declared} bytes but "
+            f"only {len(payload) - pos} remain"
+        )
     streams = []
     for size in sizes:
         streams.append(payload[pos : pos + size])
         pos += size
-        if len(streams[-1]) != size:
-            raise StreamFormatError("container truncated")
     return ParsedContainer(
         rank=rank,
         dtype=_DTYPE_BY_CODE[dtype_code],
@@ -218,6 +326,8 @@ def _parse_container_body(payload: bytes) -> ParsedContainer:
         shape=tuple(int(s) for s in shape),
         chunks=chunks,
         streams=streams,
+        format_version=version,
+        chunk_crcs=chunk_crcs,
     )
 
 
@@ -228,11 +338,21 @@ def build_container(
     shape: tuple[int, ...],
     chunks: list[Chunk],
     streams: list[bytes],
+    *,
+    version: int = CONTAINER_VERSION,
 ) -> bytes:
-    """Assemble a container payload from its parts (inverse of parsing)."""
+    """Assemble a container payload from its parts (inverse of parsing).
+
+    ``version=2`` (default) writes the CRC-protected layout; ``version=1``
+    reproduces the legacy byte layout for compatibility testing.
+    """
+    if version not in _MAGIC_BY_VERSION:
+        raise InvalidArgumentError(f"unknown container version {version}")
     head = bytearray()
-    head += _MAGIC
+    head += _MAGIC_BY_VERSION[version]
     head += struct.pack("<BBBB", rank, _DTYPES[np.dtype(dtype)], mode_code, 1)
+    if version >= 2:
+        head += b"\x00\x00\x00\x00"  # header CRC, patched below
     head += struct.pack(f"<{rank}Q", *shape)
     head += struct.pack("<I", len(chunks))
     for chunk in chunks:
@@ -240,7 +360,93 @@ def build_container(
             head += struct.pack("<QQ", a, b)
     for s in streams:
         head += struct.pack("<Q", len(s))
+    if version >= 2:
+        for s in streams:
+            head += struct.pack("<I", zlib.crc32(s))
+        struct.pack_into("<I", head, _HEADER_CRC_OFFSET, zlib.crc32(bytes(head)))
     return bytes(head) + b"".join(streams)
+
+
+@dataclass(frozen=True)
+class ChunkDecodeStatus:
+    """Outcome of decoding one chunk: ``ok``, ``crc_mismatch``, or
+    ``decode_error`` (with a one-line exception summary)."""
+
+    index: int
+    status: str
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class DecodeReport:
+    """Structured account of one container decode.
+
+    Produced by salvage-mode :func:`decompress`; lists per-chunk status,
+    which chunks failed CRC verification, and any executor degradations
+    (timeouts, broken pools) that were absorbed along the way.
+    """
+
+    format_version: int
+    chunk_status: list[ChunkDecodeStatus] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunk_status)
+
+    @property
+    def failed_chunks(self) -> list[int]:
+        """Indices of chunks that did not decode (CRC or decode failure)."""
+        return [s.index for s in self.chunk_status if not s.ok]
+
+    @property
+    def crc_mismatches(self) -> list[int]:
+        """Indices of chunks whose stored CRC32 did not match."""
+        return [s.index for s in self.chunk_status if s.status == "crc_mismatch"]
+
+    @property
+    def ok(self) -> bool:
+        """True when every chunk decoded and no degradation occurred."""
+        return not self.failed_chunks
+
+    def summary(self) -> str:
+        """One-line human-readable digest (used by the CLI)."""
+        if self.ok:
+            return f"all {self.n_chunks} chunks decoded (format v{self.format_version})"
+        return (
+            f"{self.n_chunks - len(self.failed_chunks)}/{self.n_chunks} chunks "
+            f"decoded; failed chunks {self.failed_chunks} "
+            f"(CRC mismatches {self.crc_mismatches})"
+        )
+
+
+@dataclass
+class DecodeResult:
+    """Salvage-mode decode output: the reconstructed volume (failed chunks
+    filled with ``fill_value``) plus the :class:`DecodeReport`.
+
+    Behaves like its array in numpy expressions via ``__array__``.
+    """
+
+    data: np.ndarray
+    report: DecodeReport
+
+    def __array__(self, dtype=None, copy=None):
+        if dtype is not None:
+            return self.data.astype(dtype)
+        return self.data
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
 
 
 def decompress(
@@ -248,10 +454,63 @@ def decompress(
     *,
     executor: str = "serial",
     workers: int | None = None,
-) -> np.ndarray:
-    """Decompress a container produced by :func:`compress`."""
+    on_error: str = "raise",
+    fill_value: float = float("nan"),
+    timeout: float | None = None,
+) -> np.ndarray | DecodeResult:
+    """Decompress a container produced by :func:`compress`.
+
+    ``on_error="raise"`` (default) verifies every chunk CRC (v2) and
+    raises on the first damaged chunk, returning the bare array on
+    success.  ``on_error="salvage"`` decodes every intact chunk, fills
+    damaged ones with ``fill_value`` (default NaN), and returns a
+    :class:`DecodeResult` carrying the array and a :class:`DecodeReport` —
+    per-chunk independence as a fault-isolation boundary.  ``timeout``
+    bounds each parallel chunk task in seconds; an expired or broken pool
+    degrades to serial for the affected chunks and is recorded in the
+    report rather than raised.
+    """
+    if on_error not in ("raise", "salvage"):
+        raise InvalidArgumentError(
+            f"on_error must be 'raise' or 'salvage', got {on_error!r}"
+        )
     parsed = parse_container(payload)
-    work = partial(_decompress_chunk_job, rank=parsed.rank)
-    parts = chunk_map(work, parsed.streams, executor=executor, workers=workers)
+    crcs: list[int | None]
+    if parsed.chunk_crcs is None:
+        crcs = [None] * len(parsed.streams)
+    else:
+        crcs = list(parsed.chunk_crcs)
+
+    if on_error == "raise":
+        for i, (stream, crc) in enumerate(zip(parsed.streams, crcs)):
+            if crc is not None and zlib.crc32(stream) != crc:
+                raise IntegrityError(f"chunk {i} CRC mismatch")
+        work = partial(_decompress_chunk_job, rank=parsed.rank)
+        items = [(s, c.shape) for s, c in zip(parsed.streams, parsed.chunks)]
+        parts, _notes = robust_chunk_map(
+            work, items, executor=executor, workers=workers, timeout=timeout
+        )
+        out = assemble(parsed.shape, parsed.chunks, parts)
+        return out.astype(parsed.dtype, copy=False)
+
+    report = DecodeReport(format_version=parsed.format_version)
+    work = partial(_salvage_chunk_job, rank=parsed.rank)
+    items = [
+        (s, c.shape, crc) for s, c, crc in zip(parsed.streams, parsed.chunks, crcs)
+    ]
+    results, notes = robust_chunk_map(
+        work, items, executor=executor, workers=workers, timeout=timeout
+    )
+    report.notes.extend(notes)
+    parts = []
+    for i, ((status, value), chunk) in enumerate(zip(results, parsed.chunks)):
+        if status == "ok":
+            report.chunk_status.append(ChunkDecodeStatus(index=i, status="ok"))
+            parts.append(value)
+        else:
+            report.chunk_status.append(
+                ChunkDecodeStatus(index=i, status=status, error=str(value))
+            )
+            parts.append(np.full(chunk.shape, fill_value, dtype=np.float64))
     out = assemble(parsed.shape, parsed.chunks, parts)
-    return out.astype(parsed.dtype, copy=False)
+    return DecodeResult(data=out.astype(parsed.dtype, copy=False), report=report)

@@ -32,7 +32,12 @@ from __future__ import annotations
 import atexit
 import os
 import threading
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
 from multiprocessing import shared_memory
 from typing import Any, Callable, Sequence, TypeVar
 
@@ -43,6 +48,7 @@ from ..errors import InvalidArgumentError
 __all__ = [
     "chunk_map",
     "map_chunk_arrays",
+    "robust_chunk_map",
     "EXECUTORS",
     "default_workers",
     "get_pool",
@@ -138,6 +144,88 @@ def chunk_map(
         return [func(item) for item in items]
     n = min(workers or default_workers(), len(items))
     return _pool_map(executor, n, func, items)
+
+
+def robust_chunk_map(
+    func: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    executor: str = "serial",
+    workers: int | None = None,
+    timeout: float | None = None,
+    max_rounds: int = 2,
+) -> tuple[list[R], list[str]]:
+    """Order-preserving map that degrades instead of failing.
+
+    Semantics match :func:`chunk_map` — same executors, same ordering,
+    exceptions raised by ``func`` itself propagate unchanged — but
+    *infrastructure* failures are absorbed: a task that exceeds
+    ``timeout`` seconds or dies with its pool is retried on a fresh pool
+    (up to ``max_rounds`` parallel attempts total) and finally re-run
+    serially.  Every degradation is recorded in the returned notes list
+    so callers can surface it (e.g. in a
+    :class:`~repro.core.container.DecodeReport`) rather than losing the
+    whole volume to one broken worker.
+
+    Returns ``(results, notes)``; ``notes`` is empty on a clean run.
+    """
+    if executor not in EXECUTORS:
+        raise InvalidArgumentError(
+            f"unknown executor {executor!r}; choose from {EXECUTORS}"
+        )
+    if workers is not None and workers < 1:
+        raise InvalidArgumentError("workers must be at least 1")
+    notes: list[str] = []
+    if executor == "serial" or len(items) <= 1 or (workers or 2) == 1:
+        return [func(item) for item in items], notes
+
+    n = min(workers or default_workers(), len(items))
+    results: list[Any] = [None] * len(items)
+    pending = list(range(len(items)))
+    for round_no in range(max_rounds):
+        if not pending:
+            break
+        try:
+            pool = get_pool(executor, n)
+            futures = {i: pool.submit(func, items[i]) for i in pending}
+        except (BrokenExecutor, RuntimeError) as exc:
+            notes.append(
+                f"{executor} pool unavailable ({type(exc).__name__}: {exc}); "
+                f"falling back to serial for {len(pending)} chunks"
+            )
+            _discard_pool(executor, n)
+            break
+        failed: list[int] = []
+        broken = False
+        for i, fut in futures.items():
+            try:
+                results[i] = fut.result(timeout=timeout)
+            except FuturesTimeoutError:
+                fut.cancel()
+                failed.append(i)
+                notes.append(
+                    f"chunk {i} exceeded the {timeout}s task timeout "
+                    f"(round {round_no + 1})"
+                )
+            except BrokenExecutor as exc:
+                failed.append(i)
+                broken = True
+                notes.append(
+                    f"chunk {i} lost to a broken {executor} pool "
+                    f"({type(exc).__name__})"
+                )
+        if failed and (broken or timeout is not None):
+            # A timed-out task may still be wedging a worker; recycle so
+            # the retry round starts from a clean pool.
+            _discard_pool(executor, n)
+        pending = failed
+    if pending:
+        notes.append(
+            f"degraded to serial execution for chunks {sorted(pending)}"
+        )
+        for i in pending:
+            results[i] = func(items[i])
+    return results, notes
 
 
 def _shm_apply(job: tuple) -> Any:

@@ -186,8 +186,18 @@ def compress_chunk(
     return stream, report
 
 
-def decompress_chunk(stream: bytes, rank: int | None = None) -> np.ndarray:
-    """Decompress one chunk stream back to a float64 array."""
+def decompress_chunk(
+    stream: bytes,
+    rank: int | None = None,
+    expected_shape: tuple[int, ...] | None = None,
+) -> np.ndarray:
+    """Decompress one chunk stream back to a float64 array.
+
+    ``expected_shape`` cross-checks the untrusted header shape against
+    what the caller's framing promised (the container's chunk bounds), so
+    a forged or transplanted chunk stream is rejected instead of being
+    stitched into the wrong region of the output volume.
+    """
     header = ChunkHeader.unpack(stream)
     params = ChunkParams.unpack(stream[HEADER_SIZE:])
     if rank is None:
@@ -195,9 +205,30 @@ def decompress_chunk(stream: bytes, rank: int | None = None) -> np.ndarray:
         while rank > 1 and header.shape[rank - 1] == 1:
             rank -= 1
     shape = tuple(header.shape[:rank])
+    if any(n != 1 for n in header.shape[rank:]):
+        raise StreamFormatError(
+            f"chunk shape {header.shape} inconsistent with rank {rank}"
+        )
+    if expected_shape is not None and shape != tuple(expected_shape):
+        raise StreamFormatError(
+            f"chunk header shape {shape} does not match the container's "
+            f"chunk bounds {tuple(expected_shape)}"
+        )
+    if not np.isfinite(params.q) or params.q < 0:
+        raise StreamFormatError(f"invalid quantization step {params.q!r}")
     body = stream[HEADER_SIZE + ChunkParams.SIZE :]
     if len(body) < header.speck_nbytes + params.outlier_nbytes:
         raise StreamFormatError("chunk stream shorter than its section table")
+    if params.speck_nbits > 8 * header.speck_nbytes:
+        raise StreamFormatError(
+            f"SPECK section declares {params.speck_nbits} bits in "
+            f"{header.speck_nbytes} bytes"
+        )
+    if params.outlier_nbits > 8 * params.outlier_nbytes:
+        raise StreamFormatError(
+            f"outlier section declares {params.outlier_nbits} bits in "
+            f"{params.outlier_nbytes} bytes"
+        )
     speck_stream = body[: header.speck_nbytes]
     outlier_stream = body[
         header.speck_nbytes : header.speck_nbytes + params.outlier_nbytes

@@ -24,6 +24,8 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
+from ..errors import InvalidArgumentError
+
 __all__ = [
     "PlanCache",
     "wavelet_plan",
@@ -43,7 +45,7 @@ class PlanCache:
 
     def __init__(self, maxsize: int = 64, name: str = "plans") -> None:
         if maxsize < 1:
-            raise ValueError("maxsize must be at least 1")
+            raise InvalidArgumentError("maxsize must be at least 1")
         self.maxsize = maxsize
         self.name = name
         self.hits = 0

@@ -8,6 +8,10 @@ unsatisfiable requests).
 
 from __future__ import annotations
 
+import math
+import struct
+from contextlib import contextmanager
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro/SPERR library."""
@@ -21,9 +25,75 @@ class StreamFormatError(ReproError):
     """A compressed stream is truncated, corrupt, or from a different codec."""
 
 
+class IntegrityError(StreamFormatError):
+    """A CRC32 checksum stored in the stream does not match its payload."""
+
+
+class AllocationLimitError(StreamFormatError):
+    """A length field in an untrusted stream requests an allocation beyond
+    the decoder's safety cap (:data:`repro.core.container.MAX_TOTAL_POINTS`
+    and :data:`repro.bitstream.header.MAX_CHUNK_POINTS`)."""
+
+
 class BudgetError(ReproError):
     """A size budget is too small to produce any valid output."""
 
 
 class UnsupportedModeError(ReproError):
     """The requested compression mode is not supported by this compressor."""
+
+
+#: Decode-side cap on the number of points a single payload may declare.
+#: 2 GiB of float64 output — far above any legitimate payload here.
+MAX_DECODE_POINTS = 1 << 28
+
+
+def checked_shape(
+    shape, codec: str, max_points: int = MAX_DECODE_POINTS
+) -> tuple[int, ...]:
+    """Validate an untrusted shape field before it sizes an allocation.
+
+    Rejects empty/zero/negative extents and caps the total point count,
+    so a forged header cannot drive ``np.zeros`` to exabytes or a
+    reconstruction loop to hours.
+    """
+    shape = tuple(int(s) for s in shape)
+    if not shape or any(n < 1 for n in shape):
+        raise StreamFormatError(f"{codec}: invalid shape {shape} in payload")
+    if math.prod(shape) > max_points:
+        raise AllocationLimitError(
+            f"{codec}: payload declares shape {shape} "
+            f"({math.prod(shape)} points), beyond the {max_points}-point "
+            "decode cap"
+        )
+    return shape
+
+
+@contextmanager
+def decode_guard(codec: str):
+    """Trust boundary for payload parsing.
+
+    Library errors pass through; any raw exception a malformed payload
+    provokes out of ``struct``/numpy internals (``struct.error``,
+    reshape/broadcast ``ValueError``, ``OverflowError``, ...) is
+    translated to :class:`StreamFormatError` so callers can rely on the
+    documented :class:`ReproError` contract.
+    """
+    try:
+        yield
+    except ReproError:
+        raise
+    except (
+        struct.error,
+        ValueError,
+        OverflowError,
+        IndexError,
+        KeyError,
+        TypeError,
+        EOFError,
+        ZeroDivisionError,
+        MemoryError,
+    ) as exc:
+        raise StreamFormatError(
+            f"{codec}: malformed payload ({type(exc).__name__}: {exc})"
+        ) from exc

@@ -182,10 +182,22 @@ def encode(data: bytes) -> bytes:
     return struct.pack("<Q", len(data)) + payload
 
 
+#: Decode-side cap on the declared output size.  The backend never feeds
+#: more than 64 KiB into :func:`encode` (``_AC_SIZE_LIMIT``); a declared
+#: size far beyond that is corruption, and the per-bit Python decode loop
+#: must not be driven by a forged 2**60 count.
+_MAX_DECODE_BYTES = 1 << 17
+
+
 def decode(payload: bytes) -> bytes:
     """Inverse of :func:`encode`."""
     if len(payload) < 8:
         raise StreamFormatError("truncated arithmetic-coded stream")
     (n,) = struct.unpack("<Q", payload[:8])
+    if n > _MAX_DECODE_BYTES:
+        raise StreamFormatError(
+            f"arithmetic-coded stream declares {n} bytes, beyond the "
+            f"{_MAX_DECODE_BYTES}-byte decode cap"
+        )
     bits = decode_bits(payload[8:], n * 8, 16, _byte_context)
     return np.packbits(bits).tobytes()

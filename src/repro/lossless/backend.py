@@ -62,6 +62,18 @@ def _huffman_unpack(data: bytes) -> bytes:
     if len(data) < 16:
         raise StreamFormatError("truncated huffman section")
     n, nbits = struct.unpack("<QQ", data[:16])
+    # Both counts are untrusted: every Huffman code spends at least one
+    # bit per symbol, and no more bits can be valid than the section
+    # holds, so anything outside those bounds is corruption — reject it
+    # before the decoder allocates ``n`` output symbols.
+    if nbits > 8 * (len(data) - 16):
+        raise StreamFormatError(
+            f"huffman section declares {nbits} bits in {len(data) - 16} bytes"
+        )
+    if n > nbits and n > 0:
+        raise StreamFormatError(
+            f"huffman section declares {n} symbols in {nbits} bits"
+        )
     code, consumed = huffman.deserialize_code(data[16:])
     symbols = huffman.decode(data[16 + consumed :], nbits, n, code)
     return symbols.astype(np.uint8).tobytes()

@@ -26,7 +26,7 @@ from ..errors import InvalidArgumentError, StreamFormatError
 
 __all__ = ["HuffmanCode", "build_code", "encode", "decode"]
 
-_MAX_CODE_LEN = 24  # decode table is 2**min(max_len, 16); codes longer than 24 never occur for <=2**16 symbols in practice
+_MAX_CODE_LEN = 24  # encoder clamps to this; the decode window table is 2**max_len entries
 
 
 @dataclass(frozen=True)
@@ -178,6 +178,13 @@ def decode(data: bytes, nbits: int, nsymbols: int, code: HuffmanCode) -> np.ndar
     if used.size == 0:
         raise StreamFormatError("empty code book")
     max_len = int(code.lengths[used].max())
+    if max_len > _MAX_CODE_LEN:
+        # The encoder never emits codes past _MAX_CODE_LEN; a longer length
+        # can only come from a forged code book, and would size the window
+        # table at 2**max_len entries.
+        raise StreamFormatError(
+            f"huffman code length {max_len} exceeds the {_MAX_CODE_LEN}-bit limit"
+        )
 
     # Window table: value of next `max_len` bits -> (symbol, length).
     table_sym = np.full(1 << max_len, -1, dtype=np.int64)
@@ -238,6 +245,13 @@ def deserialize_code(data: bytes) -> tuple[HuffmanCode, int]:
     if len(data) < 4:
         raise StreamFormatError("truncated code book")
     (nsym,) = struct.unpack("<I", data[:4])
+    # Each 2-byte (value, run) pair covers at most 255 symbols, so the
+    # remaining bytes bound any honest symbol count — check before sizing
+    # the length table from the untrusted field.
+    if nsym > 255 * ((len(data) - 4) // 2):
+        raise StreamFormatError(
+            f"code book declares {nsym} symbols in {len(data)} bytes"
+        )
     lengths = np.zeros(nsym, dtype=np.uint8)
     pos = 4
     filled = 0
@@ -247,6 +261,10 @@ def deserialize_code(data: bytes) -> tuple[HuffmanCode, int]:
         val, run = data[pos], data[pos + 1]
         if run == 0:
             raise StreamFormatError("zero-length run in code book")
+        if val > _MAX_CODE_LEN:
+            raise StreamFormatError(
+                f"huffman code length {val} exceeds the {_MAX_CODE_LEN}-bit limit"
+            )
         lengths[filled : filled + run] = val
         filled += run
         pos += 2

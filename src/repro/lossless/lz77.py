@@ -86,6 +86,13 @@ def decode(data: bytes) -> bytes:
     if len(data) < 16:
         raise StreamFormatError("truncated LZ77 stream")
     n, nbits = struct.unpack("<QQ", data[:16])
+    # The encoder never sees more than 256 KiB (the backend's size gate);
+    # a declared size far beyond that is a corrupt length field, and the
+    # byte-wise reconstruction loop must not chase it.
+    if n > 1 << 20:
+        raise StreamFormatError(
+            f"LZ77 stream declares {n} bytes, beyond the decode cap"
+        )
     reader = BitReader(data[16:], nbits=min(nbits, (len(data) - 16) * 8))
     out = bytearray()
     while len(out) < n:

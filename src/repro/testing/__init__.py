@@ -1,0 +1,26 @@
+"""Testing utilities: seeded fault injection and decoder fuzzing.
+
+Production decoders must treat every byte of a payload as hostile; this
+package provides the corruption operators and the fuzz driver that make
+that requirement executable (see ``tests/test_robustness.py``).
+"""
+
+from .faults import (
+    FAULT_OPERATORS,
+    CorruptionResult,
+    FaultOperator,
+    FuzzReport,
+    FuzzViolation,
+    corrupt,
+    fuzz_decoder,
+)
+
+__all__ = [
+    "FAULT_OPERATORS",
+    "CorruptionResult",
+    "FaultOperator",
+    "FuzzReport",
+    "FuzzViolation",
+    "corrupt",
+    "fuzz_decoder",
+]

@@ -1,0 +1,276 @@
+"""Seeded, composable corruption operators and a decoder-fuzz driver.
+
+The fault model covers what real storage and transport actually do to
+bitstreams: single/multi bit flips, tail truncation, forged section
+tables, chunk swap/duplication, and inflated length fields.  Every
+operator is a pure function ``(payload, rng) -> bytes`` wrapped in a
+:class:`FaultOperator`, so corruption campaigns are reproducible from a
+single integer seed.
+
+The contract the fuzz driver enforces (:func:`fuzz_decoder`): feeding any
+corrupted payload to a decoder must either
+
+* decode to *something* (damage landed in a don't-care region or was
+  salvaged), or
+* raise a :class:`~repro.errors.ReproError` subclass.
+
+A raw ``struct.error`` / ``IndexError`` / ``KeyError`` escaping, an
+unbounded allocation, or a hang is a decoder bug; the driver records
+each as a :class:`FuzzViolation` with the seed that reproduces it.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = [
+    "FaultOperator",
+    "CorruptionResult",
+    "FuzzViolation",
+    "FuzzReport",
+    "FAULT_OPERATORS",
+    "corrupt",
+    "fuzz_decoder",
+]
+
+
+@dataclass(frozen=True)
+class FaultOperator:
+    """A named, seeded corruption of a byte payload."""
+
+    name: str
+    fn: Callable[[bytes, np.random.Generator], bytes]
+
+    def __call__(self, payload: bytes, rng: np.random.Generator) -> bytes:
+        """Apply the operator; always returns a new ``bytes`` object."""
+        return self.fn(payload, rng)
+
+
+def _bit_flip(payload: bytes, rng: np.random.Generator) -> bytes:
+    """Flip 1-8 random bits anywhere in the payload."""
+    if not payload:
+        return payload
+    buf = bytearray(payload)
+    for _ in range(int(rng.integers(1, 9))):
+        pos = int(rng.integers(0, len(buf)))
+        buf[pos] ^= 1 << int(rng.integers(0, 8))
+    return bytes(buf)
+
+
+def _truncate(payload: bytes, rng: np.random.Generator) -> bytes:
+    """Cut the payload at a random point (including down to nothing)."""
+    if not payload:
+        return payload
+    return payload[: int(rng.integers(0, len(payload)))]
+
+
+def _forge_section_table(payload: bytes, rng: np.random.Generator) -> bytes:
+    """Overwrite 8 aligned bytes in the header region with random garbage.
+
+    Container headers (magic, shape, chunk bounds, size table) live at
+    the front; damaging them exercises every framing validation path.
+    """
+    if len(payload) < 16:
+        return _bit_flip(payload, rng)
+    head_span = min(len(payload) - 8, 256)
+    pos = int(rng.integers(0, head_span // 8 + 1)) * 8
+    buf = bytearray(payload)
+    buf[pos : pos + 8] = rng.integers(0, 256, size=8, dtype=np.uint8).tobytes()
+    return bytes(buf)
+
+
+def _inflate_length_field(payload: bytes, rng: np.random.Generator) -> bytes:
+    """Replace an aligned u32/u64 with a huge value.
+
+    Simulates a corrupted length/count field; the decoder must reject it
+    (or cap the allocation) rather than call ``np.empty`` on terabytes.
+    """
+    width = 8 if rng.integers(0, 2) else 4
+    if len(payload) < width + 4:
+        return _bit_flip(payload, rng)
+    span = min(len(payload) - width, 512)
+    pos = int(rng.integers(0, span // 4 + 1)) * 4
+    huge = int(rng.integers(2**30, 2**62)) if width == 8 else int(rng.integers(2**28, 2**31))
+    buf = bytearray(payload)
+    buf[pos : pos + width] = huge.to_bytes(width, "little")
+    return bytes(buf)
+
+
+def _swap_segments(payload: bytes, rng: np.random.Generator) -> bytes:
+    """Swap two equal-length interior segments (chunk-swap stand-in).
+
+    On a multi-chunk container this transplants stream bytes between
+    chunks; on a single-stream payload it scrambles section contents.
+    Either way the total length is preserved, so only content checks
+    (CRCs, shape cross-checks) can catch it.
+    """
+    if len(payload) < 32:
+        return _bit_flip(payload, rng)
+    seg = int(rng.integers(4, min(64, len(payload) // 4)))
+    a = int(rng.integers(0, len(payload) - 2 * seg))
+    b = int(rng.integers(a + seg, len(payload) - seg + 1))
+    buf = bytearray(payload)
+    buf[a : a + seg], buf[b : b + seg] = buf[b : b + seg], buf[a : a + seg]
+    return bytes(buf)
+
+
+def _duplicate_segment(payload: bytes, rng: np.random.Generator) -> bytes:
+    """Duplicate an interior segment in place (chunk-duplication stand-in).
+
+    Grows the payload, so section tables no longer match the bytes that
+    are actually present — decoders must notice the trailing surplus.
+    """
+    if len(payload) < 16:
+        return payload + payload
+    seg = int(rng.integers(4, min(128, len(payload) // 2)))
+    a = int(rng.integers(0, len(payload) - seg))
+    insert_at = int(rng.integers(0, len(payload)))
+    piece = payload[a : a + seg]
+    return payload[:insert_at] + piece + payload[insert_at:]
+
+
+#: The composable fault model, keyed by operator name.
+FAULT_OPERATORS: dict[str, FaultOperator] = {
+    op.name: op
+    for op in (
+        FaultOperator("bit_flip", _bit_flip),
+        FaultOperator("truncate", _truncate),
+        FaultOperator("forge_section_table", _forge_section_table),
+        FaultOperator("inflate_length_field", _inflate_length_field),
+        FaultOperator("swap_segments", _swap_segments),
+        FaultOperator("duplicate_segment", _duplicate_segment),
+    )
+}
+
+
+@dataclass(frozen=True)
+class CorruptionResult:
+    """A corrupted payload plus the operators that produced it."""
+
+    payload: bytes
+    applied: tuple[str, ...]
+    seed: int
+
+
+def corrupt(
+    payload: bytes,
+    seed: int,
+    operators: list[str] | None = None,
+    n_ops: int = 1,
+) -> CorruptionResult:
+    """Apply ``n_ops`` seeded operators (composed left to right).
+
+    ``operators=None`` draws from the full :data:`FAULT_OPERATORS` set;
+    a list of names restricts the pool.  The same ``(payload, seed,
+    operators, n_ops)`` always produces the same corruption.
+    """
+    rng = np.random.default_rng(seed)
+    pool = list(operators) if operators is not None else sorted(FAULT_OPERATORS)
+    applied = []
+    out = payload
+    for _ in range(n_ops):
+        name = pool[int(rng.integers(0, len(pool)))]
+        out = FAULT_OPERATORS[name](out, rng)
+        applied.append(name)
+    return CorruptionResult(payload=out, applied=tuple(applied), seed=seed)
+
+
+@dataclass(frozen=True)
+class FuzzViolation:
+    """One fuzz case that broke the decoder contract."""
+
+    seed: int
+    applied: tuple[str, ...]
+    kind: str  # "exception" | "hang"
+    detail: str
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz campaign over one decoder."""
+
+    n_runs: int = 0
+    n_decoded: int = 0
+    n_rejected: int = 0
+    violations: list[FuzzViolation] = field(default_factory=list)
+    slowest_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when no corruption escaped the error contract."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """One-line digest for assertion messages."""
+        head = (
+            f"{self.n_runs} corruptions: {self.n_decoded} decoded, "
+            f"{self.n_rejected} rejected cleanly, "
+            f"{len(self.violations)} contract violations"
+        )
+        if self.violations:
+            worst = self.violations[:5]
+            lines = [
+                f"  seed={v.seed} ops={'+'.join(v.applied)} [{v.kind}] {v.detail}"
+                for v in worst
+            ]
+            head += "\n" + "\n".join(lines)
+        return head
+
+
+def fuzz_decoder(
+    decode: Callable[[bytes], object],
+    payload: bytes,
+    *,
+    n: int = 500,
+    operators: list[str] | None = None,
+    n_ops: int = 1,
+    seed: int = 0,
+    time_limit: float = 20.0,
+) -> FuzzReport:
+    """Run ``n`` seeded corruptions of ``payload`` through ``decode``.
+
+    ``decode`` may return anything (the result is discarded); it must
+    either succeed or raise a :class:`~repro.errors.ReproError`.  Any
+    other exception, or a single decode slower than ``time_limit``
+    seconds (the in-process stand-in for a hang), is recorded as a
+    violation.  Seeds are ``seed .. seed+n-1`` so a failure reported by
+    the returned :class:`FuzzReport` replays with :func:`corrupt`.
+    """
+    report = FuzzReport()
+    for s in range(seed, seed + n):
+        case = corrupt(payload, s, operators=operators, n_ops=n_ops)
+        report.n_runs += 1
+        t0 = time.perf_counter()
+        try:
+            decode(case.payload)
+            report.n_decoded += 1
+        except ReproError:
+            report.n_rejected += 1
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            report.violations.append(
+                FuzzViolation(
+                    seed=s,
+                    applied=case.applied,
+                    kind="exception",
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            )
+        elapsed = time.perf_counter() - t0
+        report.slowest_seconds = max(report.slowest_seconds, elapsed)
+        if elapsed > time_limit:
+            report.violations.append(
+                FuzzViolation(
+                    seed=s,
+                    applied=case.applied,
+                    kind="hang",
+                    detail=f"decode took {elapsed:.1f}s (> {time_limit}s limit)",
+                )
+            )
+    return report

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_BAD_ARGS, EXIT_CORRUPT, build_parser, main
 from repro.datasets import spectral_field
 
 
@@ -67,13 +67,66 @@ class TestCli:
     def test_info_rejects_garbage(self, tmp_path, capsys):
         bad = tmp_path / "bad.sperr"
         bad.write_bytes(b"not a container")
-        assert main(["info", str(bad)]) == 1
+        assert main(["info", str(bad)]) == EXIT_CORRUPT
+        assert "error" in capsys.readouterr().err
 
-    def test_error_path_returns_nonzero(self, npy_field, tmp_path, capsys):
+    def test_info_reports_format_version(self, npy_field, tmp_path, capsys):
         path, _ = npy_field
         out = tmp_path / "f.sperr"
-        assert main(["compress", str(path), str(out), "--pwe", "-1.0"]) == 1
+        main(["compress", str(path), str(out), "--idx", "10"])
+        capsys.readouterr()
+        assert main(["info", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "v2" in printed and "CRC-protected" in printed
+
+    def test_error_path_returns_bad_args(self, npy_field, tmp_path, capsys):
+        path, _ = npy_field
+        out = tmp_path / "f.sperr"
+        assert main(["compress", str(path), str(out), "--pwe", "-1.0"]) == EXIT_BAD_ARGS
         assert "error" in capsys.readouterr().err
+
+    def test_decompress_corrupt_returns_corrupt_code(self, npy_field, tmp_path, capsys):
+        path, _ = npy_field
+        out = tmp_path / "f.sperr"
+        main(["compress", str(path), str(out), "--idx", "10"])
+        payload = bytearray(out.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        out.write_bytes(bytes(payload))
+        capsys.readouterr()
+        code = main(["decompress", str(out), str(tmp_path / "b.npy")])
+        assert code == EXIT_CORRUPT
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "\n" not in err.rstrip("\n")
+
+    def test_decompress_salvage_recovers(self, npy_field, tmp_path, capsys):
+        path, data = npy_field
+        out = tmp_path / "f.sperr"
+        back = tmp_path / "b.npy"
+        main(["compress", str(path), str(out), "--idx", "10", "--chunk", "8"])
+        payload = bytearray(out.read_bytes())
+        payload[-20] ^= 0xFF  # damage the last chunk's stream
+        out.write_bytes(bytes(payload))
+        capsys.readouterr()
+        assert main(["decompress", str(out), str(back), "--salvage"]) == 0
+        err = capsys.readouterr().err
+        assert "salvage" in err
+        recon = np.load(back)
+        assert recon.shape == data.shape
+        assert np.isnan(recon).any() and not np.isnan(recon).all()
+
+    def test_decompress_salvage_fill_value(self, npy_field, tmp_path, capsys):
+        path, _ = npy_field
+        out = tmp_path / "f.sperr"
+        back = tmp_path / "b.npy"
+        main(["compress", str(path), str(out), "--idx", "10", "--chunk", "8"])
+        payload = bytearray(out.read_bytes())
+        payload[-20] ^= 0xFF
+        out.write_bytes(bytes(payload))
+        assert main([
+            "decompress", str(out), str(back), "--salvage", "--fill-value", "-7.5",
+        ]) == 0
+        recon = np.load(back)
+        assert (recon == -7.5).any() and not np.isnan(recon).any()
 
     def test_parser_requires_bound(self, npy_field, tmp_path):
         path, _ = npy_field
@@ -108,7 +161,7 @@ class TestCli:
         archive = tmp_path / "a.sperrs"
         main(["pack", str(p), str(archive), "--idx", "8"])
         capsys.readouterr()
-        assert main(["extract", str(archive), "5", str(tmp_path / "o.npy")]) == 1
+        assert main(["extract", str(archive), "5", str(tmp_path / "o.npy")]) == EXIT_BAD_ARGS
         assert "error" in capsys.readouterr().err
 
     def test_compare_subcommand(self, npy_field, capsys):
@@ -123,7 +176,7 @@ class TestCli:
 
     def test_compare_unknown_compressor_rejected(self, npy_field, capsys):
         path, _ = npy_field
-        assert main(["compare", str(path), "--compressors", "gzip"]) == 1
+        assert main(["compare", str(path), "--compressors", "gzip"]) == EXIT_BAD_ARGS
         assert "unknown compressor" in capsys.readouterr().err
 
     def test_wavelet_choice(self, npy_field, tmp_path):

@@ -14,7 +14,12 @@ from repro.compressors import (
     ZfpLikeCompressor,
 )
 from repro.core.modes import PweMode, SizeMode
-from repro.errors import InvalidArgumentError, StreamFormatError, UnsupportedModeError
+from repro.errors import (
+    IntegrityError,
+    InvalidArgumentError,
+    StreamFormatError,
+    UnsupportedModeError,
+)
 from repro.metrics import psnr
 
 
@@ -71,3 +76,67 @@ class TestChunkedCompressor:
             c.decompress(b"XXXX" + payload[4:])
         with pytest.raises((StreamFormatError, Exception)):
             c.decompress(payload[: len(payload) // 3])
+
+
+class TestChunkedIntegrity:
+    @pytest.fixture()
+    def chunked(self):
+        return ChunkedCompressor(ZfpLikeCompressor(), 10)
+
+    @pytest.fixture()
+    def payload(self, chunked, smooth_field):
+        t = (smooth_field.max() - smooth_field.min()) / 2**12
+        return chunked.compress(smooth_field, PweMode(t))
+
+    def test_tile_bit_flip_raises_integrity_error(self, chunked, payload):
+        bad = bytearray(payload)
+        bad[-10] ^= 0x01  # inside the last tile's stream
+        with pytest.raises(IntegrityError, match="CRC mismatch"):
+            chunked.decompress(bytes(bad))
+
+    def test_header_bit_flip_raises(self, chunked, payload):
+        bad = bytearray(payload)
+        bad[9] ^= 0x01  # inside the CRC-covered header (shape field)
+        with pytest.raises(StreamFormatError):
+            chunked.decompress(bytes(bad))
+
+    def test_salvage_fills_damaged_tile(self, chunked, payload, smooth_field):
+        clean = chunked.decompress(payload)
+        bad = bytearray(payload)
+        bad[-10] ^= 0x01
+        result = chunked.decompress(bytes(bad), on_error="salvage")
+        report = result.report
+        assert len(report.failed_chunks) == 1
+        assert report.crc_mismatches == report.failed_chunks
+        nan_mask = np.isnan(result.data)
+        assert nan_mask.any()
+        assert np.array_equal(result.data[~nan_mask], clean[~nan_mask])
+
+    def test_salvage_clean_payload(self, chunked, payload):
+        result = chunked.decompress(payload, on_error="salvage")
+        assert result.report.ok
+        assert np.asarray(result).shape == result.data.shape
+
+    def test_legacy_v1_framing_still_decodes(self, chunked, smooth_field):
+        """Hand-built CHNK (pre-CRC) payloads must keep parsing."""
+        import struct
+
+        t = (smooth_field.max() - smooth_field.min()) / 2**12
+        v2 = chunked.compress(smooth_field, PweMode(t))
+        rank, shape, chunks, streams, _crcs = chunked._parse(v2)
+        head = bytearray()
+        head += b"CHNK"
+        head += struct.pack("<B", rank)
+        head += struct.pack(f"<{rank}Q", *shape)
+        head += struct.pack("<I", len(chunks))
+        for chunk in chunks:
+            for a, b in chunk.bounds:
+                head += struct.pack("<QQ", a, b)
+        for s in streams:
+            head += struct.pack("<Q", len(s))
+        v1 = bytes(head) + b"".join(streams)
+        assert np.array_equal(chunked.decompress(v1), chunked.decompress(v2))
+
+    def test_trailing_garbage_rejected(self, chunked, payload):
+        with pytest.raises(StreamFormatError, match="trailing"):
+            chunked.decompress(payload + b"\x00" * 7)

@@ -6,6 +6,11 @@ crash, hang, or silently return garbage-typed output.
 
 from __future__ import annotations
 
+import os
+import re
+import zlib
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -14,14 +19,19 @@ from hypothesis import strategies as st
 import repro
 from repro.compressors import (
     MgardLikeCompressor,
+    SperrCompressor,
     SzLikeCompressor,
     TthreshLikeCompressor,
     ZfpLikeCompressor,
 )
 from repro.compressors.base import PsnrMode
+from repro.core.container import parse_container
 from repro.core.modes import PweMode
 from repro.datasets import spectral_field
-from repro.errors import InvalidArgumentError, ReproError
+from repro.errors import IntegrityError, InvalidArgumentError, ReproError
+from repro.testing.faults import FAULT_OPERATORS, corrupt, fuzz_decoder
+
+DATA_DIR = Path(__file__).parent / "data"
 
 
 @pytest.fixture(scope="module")
@@ -134,3 +144,186 @@ def test_garbage_never_crashes_decompress(blob):
         repro.decompress(blob)
     except Exception as exc:  # noqa: BLE001
         assert not isinstance(exc, (MemoryError, RecursionError, SystemError))
+
+
+# --- seeded fault-injection matrix -----------------------------------------
+
+_FUZZ_CODECS = {
+    "sperr": (SperrCompressor(chunk_shape=8), PweMode(1e-3)),
+    "sz-like": (SzLikeCompressor(), PweMode(1e-3)),
+    "zfp-like": (ZfpLikeCompressor(), PweMode(1e-3)),
+    "tthresh-like": (TthreshLikeCompressor(), PsnrMode(60.0)),
+    "mgard-like": (MgardLikeCompressor(), PweMode(1e-3)),
+}
+
+
+@pytest.fixture(scope="module")
+def fuzz_payloads(field):
+    """One clean payload per codec, compressed once for the whole matrix."""
+    return {
+        name: comp.compress(field, mode)
+        for name, (comp, mode) in _FUZZ_CODECS.items()
+    }
+
+
+class TestFaultInjectionMatrix:
+    """Every codec × every fault operator × seeded corruption campaigns.
+
+    The contract: a corrupted payload either decodes (to garbage or a
+    salvage) or raises a ``ReproError`` subclass.  Raw ``struct.error`` /
+    ``IndexError``, unbounded allocations, and hangs are decoder bugs.
+    """
+
+    @pytest.mark.parametrize("codec", sorted(_FUZZ_CODECS))
+    @pytest.mark.parametrize("operator", sorted(FAULT_OPERATORS))
+    def test_codec_survives_operator(self, codec, operator, fuzz_payloads):
+        comp, _ = _FUZZ_CODECS[codec]
+        report = fuzz_decoder(
+            comp.decompress,
+            fuzz_payloads[codec],
+            n=50,
+            operators=[operator],
+            seed=zlib.crc32(f"{codec}/{operator}".encode()) % 10_000,
+            time_limit=20.0,
+        )
+        assert report.ok, f"{codec} × {operator}: {report.summary()}"
+
+    @pytest.mark.parametrize("codec", sorted(_FUZZ_CODECS))
+    def test_codec_survives_composed_faults(self, codec, fuzz_payloads):
+        """Two stacked operators per case — compound damage."""
+        comp, _ = _FUZZ_CODECS[codec]
+        report = fuzz_decoder(
+            comp.decompress, fuzz_payloads[codec], n=50, n_ops=2, seed=777
+        )
+        assert report.ok, f"{codec} composed: {report.summary()}"
+
+    @pytest.mark.fuzz
+    @pytest.mark.skipif(
+        os.environ.get("REPRO_FUZZ_DEEP") != "1",
+        reason="deep fuzz is opt-in: set REPRO_FUZZ_DEEP=1 and run -m fuzz",
+    )
+    @pytest.mark.parametrize("codec", sorted(_FUZZ_CODECS))
+    def test_deep_fuzz(self, codec, fuzz_payloads):
+        """The acceptance campaign: 500 seeded corruptions per codec."""
+        comp, _ = _FUZZ_CODECS[codec]
+        report = fuzz_decoder(
+            comp.decompress, fuzz_payloads[codec], n=500, seed=0
+        )
+        assert report.ok, f"{codec} deep fuzz: {report.summary()}"
+
+    def test_corrupt_is_deterministic(self, payload):
+        a = corrupt(payload, seed=99, n_ops=3)
+        b = corrupt(payload, seed=99, n_ops=3)
+        assert a.payload == b.payload and a.applied == b.applied
+
+
+# --- container v2 integrity and salvage ------------------------------------
+
+
+@pytest.fixture(scope="module")
+def chunked_payload(field):
+    """A v2 container with 8 chunks (16^3 split into 8^3 tiles)."""
+    t = repro.tolerance_from_idx(field, 14)
+    return repro.compress(field, repro.PweMode(t), chunk_shape=8).payload
+
+
+class TestContainerV2Integrity:
+    def test_header_bit_flip_detected(self, chunked_payload):
+        """Any single-bit flip in the CRC-covered header must be caught."""
+        rng = np.random.default_rng(0)
+        parsed = parse_container(chunked_payload)
+        head_len = len(chunked_payload) - sum(len(s) for s in parsed.streams)
+        for _ in range(16):
+            pos = int(rng.integers(8, head_len))
+            bit = int(rng.integers(0, 8))
+            bad = bytearray(chunked_payload)
+            bad[pos] ^= 1 << bit
+            with pytest.raises(ReproError):
+                repro.decompress(bytes(bad))
+
+    def test_each_chunk_bit_flip_detected(self, chunked_payload):
+        """A single-bit flip inside any chunk stream trips that chunk's CRC."""
+        parsed = parse_container(chunked_payload)
+        head_len = len(chunked_payload) - sum(len(s) for s in parsed.streams)
+        offset = head_len
+        for idx, stream in enumerate(parsed.streams):
+            bad = bytearray(chunked_payload)
+            bad[offset + len(stream) // 2] ^= 0x01
+            with pytest.raises(IntegrityError, match=f"chunk {idx} "):
+                repro.decompress(bytes(bad))
+            offset += len(stream)
+
+    def test_salvage_preserves_intact_chunks_exactly(self, field, chunked_payload):
+        """Corrupting one chunk must not perturb any other chunk's bytes."""
+        clean = repro.decompress(chunked_payload)
+        parsed = parse_container(chunked_payload)
+        head_len = len(chunked_payload) - sum(len(s) for s in parsed.streams)
+        target = 3
+        offset = head_len + sum(len(s) for s in parsed.streams[:target])
+        bad = bytearray(chunked_payload)
+        bad[offset + 5] ^= 0xFF
+        result = repro.decompress(bytes(bad), on_error="salvage")
+        report = result.report
+        assert report.failed_chunks == [target]
+        assert report.crc_mismatches == [target]
+        sel = tuple(slice(a, b) for a, b in parsed.chunks[target].bounds)
+        assert np.isnan(result.data[sel]).all()
+        mask = np.ones(field.shape, dtype=bool)
+        mask[sel] = False
+        assert np.array_equal(result.data[mask], clean[mask])
+
+    def test_salvage_clean_payload_reports_ok(self, chunked_payload):
+        result = repro.decompress(chunked_payload, on_error="salvage")
+        assert result.report.ok
+        assert result.report.failed_chunks == []
+        assert not np.isnan(result.data).any()
+
+    def test_salvage_custom_fill_value(self, chunked_payload):
+        parsed = parse_container(chunked_payload)
+        head_len = len(chunked_payload) - sum(len(s) for s in parsed.streams)
+        bad = bytearray(chunked_payload)
+        bad[head_len + 2] ^= 0xFF
+        result = repro.decompress(bytes(bad), on_error="salvage", fill_value=0.0)
+        sel = tuple(slice(a, b) for a, b in parsed.chunks[0].bounds)
+        assert (result.data[sel] == 0.0).all()
+
+    def test_decode_result_is_array_like(self, chunked_payload):
+        result = repro.decompress(chunked_payload, on_error="salvage")
+        assert np.asarray(result).shape == (16, 16, 16)
+
+
+class TestV1Compatibility:
+    """Golden v1 payloads (pre-CRC format) must keep decoding bit-identically."""
+
+    def test_golden_v1_parses_as_version_1(self):
+        payload = (DATA_DIR / "container_v1.sperr").read_bytes()
+        parsed = parse_container(payload)
+        assert parsed.format_version == 1
+        assert parsed.chunk_crcs is None
+        assert parsed.shape == (16, 16, 16)
+
+    def test_golden_v1_decodes_bit_identically(self):
+        payload = (DATA_DIR / "container_v1.sperr").read_bytes()
+        expected = np.load(DATA_DIR / "container_v1_decode.npy")
+        recon = repro.decompress(payload)
+        assert recon.dtype == expected.dtype
+        assert np.array_equal(recon, expected)
+
+    def test_golden_v1_salvage_mode_works(self):
+        payload = (DATA_DIR / "container_v1.sperr").read_bytes()
+        result = repro.decompress(payload, on_error="salvage")
+        assert result.report.format_version == 1
+        assert result.report.ok
+
+
+def test_no_raw_valueerror_raises_in_library():
+    """Lint: the library must raise its own hierarchy, never bare
+    ``ValueError``/``Exception`` (satellite of the error-contract work)."""
+    src_root = Path(repro.__file__).parent
+    pattern = re.compile(r"raise (ValueError|Exception)\b")
+    offenders = []
+    for path in sorted(src_root.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if pattern.search(line):
+                offenders.append(f"{path.relative_to(src_root)}:{lineno}: {line.strip()}")
+    assert not offenders, "raw raises found:\n" + "\n".join(offenders)
