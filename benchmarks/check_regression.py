@@ -146,6 +146,38 @@ def check_container_overhead() -> list[str]:
     return []
 
 
+#: Stage names a SPERR case's span-derived breakdown may contain.
+_KNOWN_STAGES = frozenset(
+    {"transform", "speck", "locate", "outlier_code", "lossless"}
+)
+
+
+def check_trace_consistency(timings: dict) -> list[str]:
+    """Sanity-check the span-collector stage breakdowns.
+
+    Every SPERR case must carry a ``stages`` dict (the baselines never
+    enter the instrumented pipeline, so theirs may be absent), the names
+    must be known, and SPECK coding — the pipeline's dominant stage —
+    must have recorded real time.
+    """
+    problems = []
+    for name, entry in sorted(timings.items()):
+        if not name.startswith("sperr"):
+            continue
+        stages = entry.get("stages")
+        if not stages:
+            problems.append(f"{name}: no span-derived stage breakdown recorded")
+            continue
+        unknown = set(stages) - _KNOWN_STAGES
+        if unknown:
+            problems.append(f"{name}: unknown stage names {sorted(unknown)}")
+        if stages.get("speck", 0.0) <= 0.0:
+            problems.append(f"{name}: speck stage recorded no time")
+        if any(v < 0.0 for v in stages.values()):
+            problems.append(f"{name}: negative stage time in {stages}")
+    return problems
+
+
 def run_gate(*, quick: bool = False, threshold: float = DEFAULT_THRESHOLD) -> list[str]:
     """Measure the current tree and gate it against BENCH_speed.json.
 
@@ -178,6 +210,7 @@ def run_gate(*, quick: bool = False, threshold: float = DEFAULT_THRESHOLD) -> li
         print("gate tripped - re-measuring once to rule out machine noise")
         timings = _merge_best(timings, measure(repeats=repeats))
         problems = judge(timings)
+    problems += check_trace_consistency(timings)
     problems += check_container_overhead()
     return problems
 

@@ -9,6 +9,7 @@ array (``.npy``) is compressed under either a point-wise error tolerance
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 import numpy as np
@@ -52,6 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel workers (threads) for chunked compression",
     )
     c.add_argument("--verbose", action="store_true", help="print a cost summary")
+    c.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome trace_event JSON of the per-stage spans to PATH "
+        "(load it in chrome://tracing or Perfetto)",
+    )
 
     d = sub.add_parser("decompress", help="reconstruct a .npy array from a container")
     d.add_argument("input", help="input .sperr container")
@@ -62,8 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
         "failing; damaged chunks are filled with --fill-value",
     )
     d.add_argument(
-        "--fill-value", type=float, default=float("nan"),
-        help="fill for unrecoverable chunks in --salvage mode (default NaN)",
+        "--fill-value", type=float, default=None,
+        help="fill for unrecoverable chunks in --salvage mode (default NaN); "
+        "only valid together with --salvage",
+    )
+    d.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome trace_event JSON of the per-stage spans to PATH",
     )
 
     i = sub.add_parser("info", help="summarize a .sperr container")
@@ -103,6 +114,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+@contextlib.contextmanager
+def _maybe_trace(path: str | None, name: str):
+    """Collect a span trace around the wrapped block and write it to
+    ``path`` as Chrome trace JSON; no-op context when ``path`` is None."""
+    if path is None:
+        yield None
+        return
+    from . import obs
+
+    with obs.trace(name) as tracer:
+        yield tracer
+    obs.write_chrome_trace(tracer.report(), path)
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     data = np.load(args.input)
     if args.bpp is not None:
@@ -111,14 +136,15 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         mode = PweMode(tolerance_from_idx(data, args.idx))
     else:
         mode = PweMode(args.pwe)
-    result = compress(
-        data,
-        mode,
-        chunk_shape=args.chunk,
-        wavelet=args.wavelet,
-        executor="thread" if args.workers else "serial",
-        workers=args.workers,
-    )
+    with _maybe_trace(args.trace, "sperr.cli.compress") as tracer:
+        result = compress(
+            data,
+            mode,
+            chunk_shape=args.chunk,
+            wavelet=args.wavelet,
+            executor="thread" if args.workers else "serial",
+            workers=args.workers,
+        )
     with open(args.output, "wb") as f:
         f.write(result.payload)
     if args.verbose:
@@ -127,22 +153,31 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         print(f"ratio:    {data.nbytes / result.nbytes:.1f}x")
         print(f"chunks:   {len(result.reports)}")
         print(f"outliers: {result.n_outliers}")
+        if tracer is not None:
+            from . import obs
+
+            print(obs.format_stage_table(tracer.report()))
     return 0
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
+    if args.fill_value is not None and not args.salvage:
+        raise InvalidArgumentError("--fill-value requires --salvage")
     with open(args.input, "rb") as f:
         payload = f.read()
-    if args.salvage:
-        result = decompress(payload, on_error="salvage", fill_value=args.fill_value)
-        report = result.report
-        if not report.ok:
-            print(f"salvage: {report.summary()}", file=sys.stderr)
-            for note in report.notes:
-                print(f"salvage: {note}", file=sys.stderr)
-        np.save(args.output, result.data)
-        return 0
-    np.save(args.output, decompress(payload))
+    with _maybe_trace(args.trace, "sperr.cli.decompress"):
+        if args.salvage:
+            fill = float("nan") if args.fill_value is None else args.fill_value
+            result = decompress(payload, on_error="salvage", fill_value=fill)
+            report = result.report
+            if not report.ok:
+                print(f"salvage: {report.summary()}", file=sys.stderr)
+                for note in report.notes:
+                    print(f"salvage: {note}", file=sys.stderr)
+            out = result.data
+        else:
+            out = decompress(payload)
+    np.save(args.output, out)
     return 0
 
 

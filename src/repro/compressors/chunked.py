@@ -36,6 +36,7 @@ from ..core.container import (
     DecodeResult,
 )
 from ..core.parallel import map_chunk_arrays, robust_chunk_map
+from ..obs import add_counter, span
 from ..errors import (
     AllocationLimitError,
     IntegrityError,
@@ -105,14 +106,21 @@ class ChunkedCompressor(Compressor):
         chunks = plan_chunks(data.shape, self.chunk_shape)
         # The process path ships the volume through shared memory once
         # (workers slice their own chunks); serial/thread slice in-process.
-        payloads = map_chunk_arrays(
-            _compress_part,
-            data,
-            chunks,
-            args=(self.inner, mode),
+        with span(
+            "chunked.compress",
+            codec=self.inner.name,
+            chunks=len(chunks),
             executor=self.executor,
-            workers=self.workers,
-        )
+        ):
+            payloads = map_chunk_arrays(
+                _compress_part,
+                data,
+                chunks,
+                args=(self.inner, mode),
+                executor=self.executor,
+                workers=self.workers,
+            )
+        add_counter("chunked.bytes_out", sum(len(p) for p in payloads))
         head = bytearray()
         head += _MAGIC_V2
         head += b"\x00\x00\x00\x00"  # header CRC, patched below
@@ -235,14 +243,17 @@ class ChunkedCompressor(Compressor):
             for i, (stream, crc) in enumerate(zip(streams, crcs)):
                 if crc is not None and zlib.crc32(stream) != crc:
                     raise IntegrityError(f"chunk {i} CRC mismatch")
-            parts, _notes = robust_chunk_map(
-                self.inner.decompress,
-                streams,
-                executor=self.executor,
-                workers=self.workers,
-                timeout=timeout,
-            )
-            return assemble(shape, chunks, parts)
+            with span(
+                "chunked.decompress", codec=self.inner.name, chunks=len(chunks)
+            ):
+                parts, _notes = robust_chunk_map(
+                    self.inner.decompress,
+                    streams,
+                    executor=self.executor,
+                    workers=self.workers,
+                    timeout=timeout,
+                )
+                return assemble(shape, chunks, parts)
 
         version = 2 if crcs and crcs[0] is not None else 1
         report = DecodeReport(format_version=version)

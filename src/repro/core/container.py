@@ -36,7 +36,7 @@ import numpy as np
 
 from functools import partial
 
-from .. import lossless
+from .. import lossless, obs
 from ..errors import (
     AllocationLimitError,
     IntegrityError,
@@ -85,10 +85,16 @@ _HEADER_CRC_OFFSET = 12
 
 @dataclass
 class CompressionResult:
-    """Compressed payload plus accounting from every chunk."""
+    """Compressed payload plus accounting from every chunk.
+
+    ``trace`` is a :class:`~repro.obs.TraceReport` when :func:`compress`
+    ran with ``trace=True`` (and no ambient trace was already
+    collecting); otherwise ``None``.
+    """
 
     payload: bytes
     reports: list[ChunkReport]
+    trace: "obs.TraceReport | None" = None
 
     @property
     def nbytes(self) -> int:
@@ -160,12 +166,55 @@ def compress(
     lossless_method: str = "auto",
     executor: str = "serial",
     workers: int | None = None,
+    trace: bool = False,
 ) -> CompressionResult:
     """Compress an array into a self-contained SPERR container.
 
     ``chunk_shape=None`` compresses the volume as a single chunk;
     an int or tuple tiles it for parallel execution (Sec. III-D).
+    ``trace=True`` collects a per-stage span trace for this call and
+    attaches it as ``result.trace``; when an ambient
+    :class:`~repro.obs.trace` is already active, spans flow to it
+    instead and ``result.trace`` stays ``None``.
     """
+    if trace and not obs.is_active():
+        with obs.trace("sperr.compress") as tracer:
+            result = _compress_impl(
+                data,
+                mode,
+                chunk_shape=chunk_shape,
+                wavelet=wavelet,
+                levels=levels,
+                lossless_method=lossless_method,
+                executor=executor,
+                workers=workers,
+            )
+        result.trace = tracer.report()
+        return result
+    return _compress_impl(
+        data,
+        mode,
+        chunk_shape=chunk_shape,
+        wavelet=wavelet,
+        levels=levels,
+        lossless_method=lossless_method,
+        executor=executor,
+        workers=workers,
+    )
+
+
+def _compress_impl(
+    data: np.ndarray,
+    mode: PweMode | SizeMode | PsnrMode,
+    *,
+    chunk_shape: int | tuple[int, ...] | None,
+    wavelet: str,
+    levels: int | None,
+    lossless_method: str,
+    executor: str,
+    workers: int | None,
+) -> CompressionResult:
+    """Validation, chunk fan-out, and container framing."""
     data = np.asarray(data)
     if data.dtype not in _DTYPES:
         if np.issubdtype(data.dtype, np.floating) or np.issubdtype(data.dtype, np.integer):
@@ -197,28 +246,37 @@ def compress(
 
     chunks = plan_chunks(data.shape, chunk_shape)
 
-    # Chunks are sliced inside the executor: the process path ships the
-    # volume through shared memory once instead of pickling every chunk.
-    results = map_chunk_arrays(
-        _compress_chunk_job,
-        data,
-        chunks,
-        args=(mode, wavelet, levels),
+    with obs.span(
+        "sperr.compress",
+        shape=data.shape,
+        chunks=len(chunks),
         executor=executor,
-        workers=workers,
-    )
-    streams = []
-    reports = []
-    for raw, report in results:
-        packed = lossless.compress(raw, method=lossless_method)
-        report.total_nbytes = len(packed)
-        streams.append(packed)
-        reports.append(report)
+    ):
+        # Chunks are sliced inside the executor: the process path ships
+        # the volume through shared memory once instead of pickling every
+        # chunk.
+        results = map_chunk_arrays(
+            _compress_chunk_job,
+            data,
+            chunks,
+            args=(mode, wavelet, levels),
+            executor=executor,
+            workers=workers,
+        )
+        streams = []
+        reports = []
+        for raw, report in results:
+            packed = lossless.compress(raw, method=lossless_method)
+            report.total_nbytes = len(packed)
+            streams.append(packed)
+            reports.append(report)
 
-    mode_code = 0 if isinstance(mode, PweMode) else (2 if isinstance(mode, PsnrMode) else 1)
-    payload = build_container(
-        data.ndim, np.dtype(data.dtype), mode_code, data.shape, chunks, streams
-    )
+        mode_code = 0 if isinstance(mode, PweMode) else (2 if isinstance(mode, PsnrMode) else 1)
+        with obs.span("container.build", n_chunks=len(chunks)):
+            payload = build_container(
+                data.ndim, np.dtype(data.dtype), mode_code, data.shape, chunks, streams
+            )
+        obs.add_counter("container.bytes", len(payload))
     return CompressionResult(payload=payload, reports=reports)
 
 
@@ -314,6 +372,11 @@ def _parse_container_body(payload: bytes, version: int) -> ParsedContainer:
         raise StreamFormatError(
             f"container truncated: sections declare {declared} bytes but "
             f"only {len(payload) - pos} remain"
+        )
+    if declared < len(payload) - pos:
+        raise StreamFormatError(
+            f"{len(payload) - pos - declared} trailing bytes after the "
+            "last chunk stream"
         )
     streams = []
     for size in sizes:
@@ -474,43 +537,49 @@ def decompress(
         raise InvalidArgumentError(
             f"on_error must be 'raise' or 'salvage', got {on_error!r}"
         )
-    parsed = parse_container(payload)
-    crcs: list[int | None]
-    if parsed.chunk_crcs is None:
-        crcs = [None] * len(parsed.streams)
-    else:
-        crcs = list(parsed.chunk_crcs)
+    with obs.span("sperr.decompress", nbytes=len(payload), mode=on_error):
+        with obs.span("container.parse"):
+            parsed = parse_container(payload)
+        crcs: list[int | None]
+        if parsed.chunk_crcs is None:
+            crcs = [None] * len(parsed.streams)
+        else:
+            crcs = list(parsed.chunk_crcs)
 
-    if on_error == "raise":
-        for i, (stream, crc) in enumerate(zip(parsed.streams, crcs)):
-            if crc is not None and zlib.crc32(stream) != crc:
-                raise IntegrityError(f"chunk {i} CRC mismatch")
-        work = partial(_decompress_chunk_job, rank=parsed.rank)
-        items = [(s, c.shape) for s, c in zip(parsed.streams, parsed.chunks)]
-        parts, _notes = robust_chunk_map(
+        if on_error == "raise":
+            with obs.span("container.verify", n_chunks=len(parsed.streams)):
+                for i, (stream, crc) in enumerate(zip(parsed.streams, crcs)):
+                    if crc is not None and zlib.crc32(stream) != crc:
+                        raise IntegrityError(f"chunk {i} CRC mismatch")
+            work = partial(_decompress_chunk_job, rank=parsed.rank)
+            items = [(s, c.shape) for s, c in zip(parsed.streams, parsed.chunks)]
+            parts, _notes = robust_chunk_map(
+                work, items, executor=executor, workers=workers, timeout=timeout
+            )
+            with obs.span("container.assemble"):
+                out = assemble(parsed.shape, parsed.chunks, parts)
+            return out.astype(parsed.dtype, copy=False)
+
+        report = DecodeReport(format_version=parsed.format_version)
+        work = partial(_salvage_chunk_job, rank=parsed.rank)
+        items = [
+            (s, c.shape, crc)
+            for s, c, crc in zip(parsed.streams, parsed.chunks, crcs)
+        ]
+        results, notes = robust_chunk_map(
             work, items, executor=executor, workers=workers, timeout=timeout
         )
-        out = assemble(parsed.shape, parsed.chunks, parts)
-        return out.astype(parsed.dtype, copy=False)
-
-    report = DecodeReport(format_version=parsed.format_version)
-    work = partial(_salvage_chunk_job, rank=parsed.rank)
-    items = [
-        (s, c.shape, crc) for s, c, crc in zip(parsed.streams, parsed.chunks, crcs)
-    ]
-    results, notes = robust_chunk_map(
-        work, items, executor=executor, workers=workers, timeout=timeout
-    )
-    report.notes.extend(notes)
-    parts = []
-    for i, ((status, value), chunk) in enumerate(zip(results, parsed.chunks)):
-        if status == "ok":
-            report.chunk_status.append(ChunkDecodeStatus(index=i, status="ok"))
-            parts.append(value)
-        else:
-            report.chunk_status.append(
-                ChunkDecodeStatus(index=i, status=status, error=str(value))
-            )
-            parts.append(np.full(chunk.shape, fill_value, dtype=np.float64))
-    out = assemble(parsed.shape, parsed.chunks, parts)
-    return DecodeResult(data=out.astype(parsed.dtype, copy=False), report=report)
+        report.notes.extend(notes)
+        parts = []
+        for i, ((status, value), chunk) in enumerate(zip(results, parsed.chunks)):
+            if status == "ok":
+                report.chunk_status.append(ChunkDecodeStatus(index=i, status="ok"))
+                parts.append(value)
+            else:
+                report.chunk_status.append(
+                    ChunkDecodeStatus(index=i, status=status, error=str(value))
+                )
+                parts.append(np.full(chunk.shape, fill_value, dtype=np.float64))
+        with obs.span("container.assemble"):
+            out = assemble(parsed.shape, parsed.chunks, parts)
+        return DecodeResult(data=out.astype(parsed.dtype, copy=False), report=report)

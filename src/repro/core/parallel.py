@@ -44,6 +44,7 @@ from typing import Any, Callable, Sequence, TypeVar
 import numpy as np
 
 from ..errors import InvalidArgumentError
+from ..obs import absorb_result, wrap_worker
 
 __all__ = [
     "chunk_map",
@@ -143,6 +144,15 @@ def chunk_map(
     if executor == "serial" or len(items) <= 1 or (workers or 2) == 1:
         return [func(item) for item in items]
     n = min(workers or default_workers(), len(items))
+    if executor == "process":
+        # Thread workers share the parent's tracer; process workers must
+        # collect spans locally and ship them back with each result.
+        wrapped = wrap_worker(func)
+        if wrapped is not func:
+            results = _pool_map(executor, n, wrapped, items)
+            return [
+                absorb_result(r, worker_item=i) for i, r in enumerate(results)
+            ]
     return _pool_map(executor, n, func, items)
 
 
@@ -178,6 +188,12 @@ def robust_chunk_map(
     notes: list[str] = []
     if executor == "serial" or len(items) <= 1 or (workers or 2) == 1:
         return [func(item) for item in items], notes
+
+    traced = False
+    if executor == "process":
+        wrapped = wrap_worker(func)
+        if wrapped is not func:
+            func, traced = wrapped, True
 
     n = min(workers or default_workers(), len(items))
     results: list[Any] = [None] * len(items)
@@ -225,6 +241,10 @@ def robust_chunk_map(
         )
         for i in pending:
             results[i] = func(items[i])
+    if traced:
+        # Merge worker spans in item order regardless of completion
+        # order, so repeated runs produce identical trace sequences.
+        results = [absorb_result(r, worker_item=i) for i, r in enumerate(results)]
     return results, notes
 
 
@@ -284,16 +304,20 @@ def map_chunk_arrays(
         return [func(part, *args) for part in parts]
 
     n = min(workers or default_workers(), len(chunks))
+    wrapped = wrap_worker(func)
     shm = shared_memory.SharedMemory(create=True, size=max(1, data.nbytes))
     try:
         shared = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
         np.copyto(shared, data)
         del shared  # release the buffer export so close() succeeds
         jobs = [
-            (func, shm.name, data.shape, data.dtype.str, c.bounds, args)
+            (wrapped, shm.name, data.shape, data.dtype.str, c.bounds, args)
             for c in chunks
         ]
-        return _pool_map("process", n, _shm_apply, jobs)
+        results = _pool_map("process", n, _shm_apply, jobs)
     finally:
         shm.close()
         shm.unlink()
+    if wrapped is not func:
+        results = [absorb_result(r, worker_item=i) for i, r in enumerate(results)]
+    return results

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..bitstream import HEADER_SIZE, ChunkHeader, ChunkParams
 from ..errors import InvalidArgumentError, StreamFormatError
+from ..obs import add_counter, span
 from ..outlier import OutlierCoder, encode_outliers, locate_outliers
 from ..speck import SpeckStats, decode_coefficients, encode_coefficients
 from ..quant import calibrate_step
@@ -100,10 +101,22 @@ def compress_chunk(
         raise InvalidArgumentError("chunks must be 1-D, 2-D, or 3-D")
     if not np.all(np.isfinite(data)):
         raise InvalidArgumentError("input contains NaN or Inf")
+    with span("chunk.compress", shape=data.shape):
+        return _compress_chunk_body(data, mode, wavelet, levels)
+
+
+def _compress_chunk_body(
+    data: np.ndarray,
+    mode: PweMode | SizeMode | PsnrMode,
+    wavelet: str,
+    levels: int | None,
+) -> tuple[bytes, ChunkReport]:
+    """The four compression stages, inside the ``chunk.compress`` span."""
     is_double = True  # numpy pipeline runs in float64 throughout
 
     t0 = time.perf_counter()
-    coeffs, plan = dwt_forward(data, wavelet=wavelet, levels=levels)
+    with span("wavelet.forward", wavelet=wavelet):
+        coeffs, plan = dwt_forward(data, wavelet=wavelet, levels=levels)
     t1 = time.perf_counter()
 
     if isinstance(mode, PweMode):
@@ -140,7 +153,8 @@ def compress_chunk(
     t3 = t2
     t4 = t2
     if isinstance(mode, PweMode):
-        recon = dwt_inverse(coeff_recon, plan)
+        with span("wavelet.inverse", wavelet=wavelet):
+            recon = dwt_inverse(coeff_recon, plan)
         positions, corrections = locate_outliers(data, recon, tolerance)
         n_outliers = int(positions.size)
         t3 = time.perf_counter()
@@ -167,6 +181,10 @@ def compress_chunk(
         levels=levels,
     )
     stream = header.pack() + params.pack() + speck_stream + outlier_stream
+    add_counter("speck.bits", speck_nbits)
+    add_counter("outlier.bits", outlier_nbits)
+    add_counter("outlier.count", n_outliers)
+    add_counter("chunk.bytes", len(stream))
     report = ChunkReport(
         shape=data.shape,
         q=q,
@@ -234,10 +252,14 @@ def decompress_chunk(
         header.speck_nbytes : header.speck_nbytes + params.outlier_nbytes
     ]
 
-    coeffs = decode_coefficients(speck_stream, shape, params.q, nbits=params.speck_nbits)
-    plan = wavelet_plan(shape, wavelet=params.wavelet, levels=params.levels)
-    recon = dwt_inverse(coeffs, plan)
-    if header.has_outliers and outlier_stream:
-        coder = OutlierCoder(int(np.prod(shape)), params.tolerance)
-        coder.apply(recon, outlier_stream, nbits=params.outlier_nbits)
+    with span("chunk.decompress", shape=shape):
+        coeffs = decode_coefficients(
+            speck_stream, shape, params.q, nbits=params.speck_nbits
+        )
+        plan = wavelet_plan(shape, wavelet=params.wavelet, levels=params.levels)
+        with span("wavelet.inverse", wavelet=params.wavelet):
+            recon = dwt_inverse(coeffs, plan)
+        if header.has_outliers and outlier_stream:
+            coder = OutlierCoder(int(np.prod(shape)), params.tolerance)
+            coder.apply(recon, outlier_stream, nbits=params.outlier_nbits)
     return recon

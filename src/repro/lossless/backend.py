@@ -17,6 +17,7 @@ import struct
 import numpy as np
 
 from ..errors import InvalidArgumentError, StreamFormatError
+from ..obs import span
 from . import arith, huffman, lz77, rle
 
 __all__ = ["compress", "decompress", "METHODS"]
@@ -86,6 +87,14 @@ def compress(data: bytes, method: str = "auto") -> bytes:
     is small or its byte entropy suggests real redundancy, LZ77 and
     arithmetic coding) and keeps the smallest result.
     """
+    with span("lossless.encode", method=method) as sp:
+        out = _compress_body(data, method)
+        sp.add("lossless.bytes_in", len(data)).add("lossless.bytes_out", len(out))
+    return out
+
+
+def _compress_body(data: bytes, method: str) -> bytes:
+    """Candidate generation and selection, inside the encode span."""
     if method not in METHODS:
         raise InvalidArgumentError(f"unknown lossless method {method!r}")
     if method == "stored":
@@ -128,6 +137,14 @@ def decompress(payload: bytes) -> bytes:
     """Inverse of :func:`compress` (self-describing via the method tag)."""
     if not payload:
         raise StreamFormatError("empty lossless payload")
+    with span("lossless.decode") as sp:
+        out = _decompress_body(payload)
+        sp.set(tag=payload[0])
+    return out
+
+
+def _decompress_body(payload: bytes) -> bytes:
+    """Tag dispatch, inside the decode span."""
     tag, body = payload[0], payload[1:]
     if tag == _TAG_STORED:
         return body

@@ -1,0 +1,101 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a plain-text table.
+
+The JSON exporter emits the subset of the Trace Event Format that
+``chrome://tracing`` / Perfetto load directly: one complete (``"ph":
+"X"``) event per span with microsecond timestamps normalized to the
+trace start, plus one counter (``"ph": "C"``) event per trace counter.
+Output is deterministic for a given report (events in span order, keys
+sorted), which is what the golden-snapshot test pins.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .trace import TraceReport
+
+__all__ = [
+    "chrome_trace",
+    "to_json",
+    "write_chrome_trace",
+    "format_stage_table",
+]
+
+
+def chrome_trace(report: TraceReport) -> dict:
+    """Build the Chrome ``trace_event`` document for a report."""
+    base = min((s.start_us for s in report.spans), default=0.0)
+    events = []
+    for s in report.spans:
+        events.append(
+            {
+                "name": s.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(s.start_us - base, 3),
+                "dur": round(s.dur_us, 3),
+                "pid": s.pid,
+                "tid": s.tid,
+                "args": {**s.attrs, "cpu_us": round(s.cpu_us, 3)},
+            }
+        )
+    end = max((s.end_us - base for s in report.spans), default=0.0)
+    pid = report.spans[0].pid if report.spans else 0
+    for name in sorted(report.counters):
+        events.append(
+            {
+                "name": name,
+                "cat": "repro",
+                "ph": "C",
+                "ts": round(end, 3),
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": report.counters[name]},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_name": report.name},
+    }
+
+
+def to_json(report: TraceReport, *, indent: int | None = 2) -> str:
+    """Serialize the Chrome trace document to a JSON string."""
+    return json.dumps(chrome_trace(report), indent=indent, sort_keys=True) + "\n"
+
+
+def write_chrome_trace(report: TraceReport, path) -> None:
+    """Write the Chrome-loadable trace JSON to ``path``."""
+    with open(path, "w") as f:
+        f.write(to_json(report))
+
+
+def format_stage_table(report: TraceReport) -> str:
+    """Per-stage breakdown: calls, wall ms, CPU ms, share of the trace.
+
+    Stages (span names) are sorted by total wall time, descending.  The
+    share column is relative to the trace's wall extent, so nested spans
+    can sum past 100% — the table reports cost per stage name, not a
+    partition of time.
+    """
+    totals = report.stage_totals()
+    cpu = report.cpu_totals()
+    calls = report.stage_calls()
+    extent = report.wall_seconds()
+    rows = []
+    for name in sorted(totals, key=lambda n: -totals[n]):
+        share = 100.0 * totals[name] / extent if extent > 0 else 0.0
+        rows.append(
+            f"{name:<24} {calls[name]:>6} {totals[name] * 1e3:>10.2f} "
+            f"{cpu.get(name, 0.0) * 1e3:>10.2f} {share:>6.1f}%"
+        )
+    header = (
+        f"{'stage':<24} {'calls':>6} {'wall ms':>10} {'cpu ms':>10} {'share':>7}"
+    )
+    lines = [header, "-" * len(header)] + rows
+    if report.counters:
+        lines.append("")
+        for name in sorted(report.counters):
+            lines.append(f"{name:<24} {report.counters[name]:>15g}")
+    return "\n".join(lines)

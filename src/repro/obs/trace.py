@@ -1,0 +1,367 @@
+"""Span collection: the core of the observability layer.
+
+A *span* is one timed region of the pipeline — ``wavelet.forward``,
+``speck.encode``, ``lossless.encode`` — carrying wall time, CPU time,
+nesting depth, the recording process/thread, and free-form attributes.
+A :class:`Tracer` collects finished spans and named counters; a
+:class:`TraceReport` is the immutable snapshot handed to exporters and
+benchmarks.
+
+Design constraints (and how they are met):
+
+* **zero overhead when disabled** — :func:`span` reads one module global
+  and returns a shared no-op object when no trace is active, so the
+  instrumentation scattered through the hot path costs a dict build and
+  a global load per call site;
+* **thread safety** — worker threads share the active tracer; span
+  nesting is tracked per thread (``threading.local``) and the finished
+  span list and counters are guarded by a lock;
+* **process safety** — child processes cannot see the parent's tracer,
+  so :func:`wrap_worker` wraps a job callable to collect spans in the
+  worker and ship them back with the result, and :func:`absorb_result`
+  merges them into the parent trace in deterministic (submission) order.
+
+Timestamps use ``time.perf_counter_ns`` (CLOCK_MONOTONIC on Linux, a
+system-wide clock), so spans recorded in different processes share a
+timeline and interleave correctly in the Chrome trace viewer.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TraceReport",
+    "TracedResult",
+    "trace",
+    "span",
+    "add_counter",
+    "is_active",
+    "active_tracer",
+    "wrap_worker",
+    "absorb_result",
+]
+
+
+@dataclass
+class Span:
+    """One finished timed region.
+
+    ``start_us``/``dur_us`` are wall-clock microseconds on the monotonic
+    clock; ``cpu_us`` is the recording thread's CPU time over the same
+    region.  ``depth`` is the nesting level within the recording thread
+    (0 = no enclosing span).  ``attrs`` carries free-form, JSON-safe
+    stage attributes (chunk index, method name, shape, ...).
+    """
+
+    name: str
+    start_us: float
+    dur_us: float
+    cpu_us: float
+    pid: int
+    tid: int
+    depth: int
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def end_us(self) -> float:
+        """Wall-clock end of the span in microseconds."""
+        return self.start_us + self.dur_us
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """Immutable snapshot of a finished (or in-flight) trace.
+
+    Spans appear in completion order: a child span always precedes its
+    parent, and spans merged from process workers keep their worker-local
+    order, appended chunk by chunk in submission order.
+    """
+
+    name: str
+    spans: tuple[Span, ...]
+    counters: dict[str, float]
+
+    def stage_totals(self) -> dict[str, float]:
+        """Total wall seconds per span name (nested spans count toward
+        both their own name and every enclosing span's name)."""
+        out: dict[str, float] = {}
+        for s in self.spans:
+            out[s.name] = out.get(s.name, 0.0) + s.dur_us / 1e6
+        return out
+
+    def cpu_totals(self) -> dict[str, float]:
+        """Total CPU seconds per span name."""
+        out: dict[str, float] = {}
+        for s in self.spans:
+            out[s.name] = out.get(s.name, 0.0) + s.cpu_us / 1e6
+        return out
+
+    def stage_calls(self) -> dict[str, int]:
+        """Number of spans recorded per name."""
+        out: dict[str, int] = {}
+        for s in self.spans:
+            out[s.name] = out.get(s.name, 0) + 1
+        return out
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name, in recorded order."""
+        return [s for s in self.spans if s.name == name]
+
+    def wall_seconds(self) -> float:
+        """Extent of the trace: latest span end minus earliest start."""
+        if not self.spans:
+            return 0.0
+        start = min(s.start_us for s in self.spans)
+        end = max(s.end_us for s in self.spans)
+        return (end - start) / 1e6
+
+
+class Tracer:
+    """Thread-safe collector of spans and counters for one trace."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._counters: dict[str, float] = {}
+        self._tls = threading.local()
+
+    def _stack(self) -> list:
+        """The calling thread's stack of live spans."""
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _finish(self, finished: Span) -> None:
+        with self._lock:
+            self._spans.append(finished)
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Increment the named counter by ``value``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def merge(
+        self,
+        spans: list[Span],
+        counters: dict[str, float],
+        extra_attrs: dict | None = None,
+    ) -> None:
+        """Append another collector's finished spans and fold in its
+        counters, optionally tagging every merged span with
+        ``extra_attrs`` (e.g. the worker item index)."""
+        with self._lock:
+            for s in spans:
+                if extra_attrs:
+                    s.attrs.update(extra_attrs)
+                self._spans.append(s)
+            for k, v in counters.items():
+                self._counters[k] = self._counters.get(k, 0) + v
+
+    def report(self) -> TraceReport:
+        """Snapshot the collected spans and counters."""
+        with self._lock:
+            return TraceReport(
+                name=self.name,
+                spans=tuple(self._spans),
+                counters=dict(self._counters),
+            )
+
+
+class _LiveSpan:
+    """An open span: a context manager bound to its tracer."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_depth", "_t0", "_c0")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = self._tracer._stack()
+        self._depth = len(stack)
+        stack.append(self)
+        self._t0 = time.perf_counter_ns()
+        self._c0 = time.thread_time_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t1 = time.perf_counter_ns()
+        c1 = time.thread_time_ns()
+        self._tracer._stack().pop()
+        self._tracer._finish(
+            Span(
+                name=self.name,
+                start_us=self._t0 / 1e3,
+                dur_us=(t1 - self._t0) / 1e3,
+                cpu_us=(c1 - self._c0) / 1e3,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                depth=self._depth,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+    def set(self, **attrs) -> "_LiveSpan":
+        """Attach attributes to the span; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def add(self, name: str, value: float = 1) -> "_LiveSpan":
+        """Increment a trace counter from inside the span; chainable."""
+        self._tracer.add(name, value)
+        return self
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def add(self, name: str, value: float = 1) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+#: The process-wide active tracer (``None`` = tracing disabled, the
+#: fast path).  One trace is active at a time; :class:`trace` stacks.
+_ACTIVE: Tracer | None = None
+
+
+def is_active() -> bool:
+    """True when a trace is currently collecting spans."""
+    return _ACTIVE is not None
+
+
+def active_tracer() -> Tracer | None:
+    """The currently active :class:`Tracer`, or ``None``."""
+    return _ACTIVE
+
+
+def span(name: str, **attrs):
+    """Open a span under the active trace (no-op when tracing is off).
+
+    Use as a context manager::
+
+        with span("speck.encode", chunk=i) as sp:
+            ...
+            sp.add("speck.bits", nbits)
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NOOP
+    return _LiveSpan(tracer, name, attrs)
+
+
+def add_counter(name: str, value: float = 1) -> None:
+    """Increment a trace counter (no-op when tracing is off)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.add(name, value)
+
+
+class trace:
+    """Context manager that activates a fresh :class:`Tracer`.
+
+    ::
+
+        with trace("sperr.compress") as tracer:
+            compress(...)
+        report = tracer.report()
+
+    Entering while another trace is active stacks: the previous tracer
+    is restored on exit (its spans pause while the inner trace runs).
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self.tracer = Tracer(name)
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        """Activate this trace's tracer and return it."""
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self.tracer
+        return self.tracer
+
+    def __exit__(self, *exc) -> bool:
+        """Deactivate, restoring whatever trace was active before."""
+        global _ACTIVE
+        _ACTIVE = self._previous
+        return False
+
+
+@dataclass
+class TracedResult:
+    """A worker job's return value bundled with the spans and counters
+    it recorded; produced by :func:`wrap_worker` wrappers and unpacked
+    by :func:`absorb_result` in the parent."""
+
+    value: object
+    spans: list[Span]
+    counters: dict[str, float]
+
+
+class _TracedJob:
+    """Picklable callable wrapper collecting spans in a worker process."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func) -> None:
+        self.func = func
+
+    def __call__(self, *args, **kwargs) -> TracedResult:
+        global _ACTIVE
+        previous = _ACTIVE
+        collector = Tracer("worker")
+        _ACTIVE = collector
+        try:
+            value = self.func(*args, **kwargs)
+        finally:
+            _ACTIVE = previous
+        snap = collector.report()
+        return TracedResult(
+            value=value, spans=list(snap.spans), counters=snap.counters
+        )
+
+
+def wrap_worker(func):
+    """Wrap ``func`` so a child process records spans and returns them
+    with its result.  When tracing is inactive, returns ``func``
+    unchanged, so callers can test ``wrapped is not func`` to know
+    whether results need :func:`absorb_result`."""
+    if _ACTIVE is None:
+        return func
+    return _TracedJob(func)
+
+
+def absorb_result(result, **attrs):
+    """Merge a :class:`TracedResult`'s spans/counters into the active
+    trace (tagging each span with ``attrs``) and return the bare value.
+    Non-:class:`TracedResult` inputs pass through untouched, so this is
+    safe to apply uniformly."""
+    if isinstance(result, TracedResult):
+        tracer = _ACTIVE
+        if tracer is not None:
+            tracer.merge(result.spans, result.counters, extra_attrs=attrs or None)
+        return result.value
+    return result

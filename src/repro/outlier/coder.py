@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import InvalidArgumentError
+from ..obs import span
 from ..quant import integerize
 from ..speck import codec as _speck_codec
 
@@ -80,12 +81,13 @@ class OutlierCoder:
         # magnitudes: elementwise quantization of the implicit zeros is a
         # no-op, so this is bit-identical to quantizing the dense array
         # while skipping four full-domain float passes.
-        mags, negative = integerize(corrections, self.tolerance)
-        dense_mags = np.zeros(self.n, dtype=np.uint64)
-        dense_neg = np.zeros(self.n, dtype=bool)
-        dense_mags[positions] = mags
-        dense_neg[positions] = negative
-        stream, nbits, _ = _speck_codec.encode(dense_mags, dense_neg)
+        with span("outlier.encode", n_outliers=int(positions.size)):
+            mags, negative = integerize(corrections, self.tolerance)
+            dense_mags = np.zeros(self.n, dtype=np.uint64)
+            dense_neg = np.zeros(self.n, dtype=bool)
+            dense_mags[positions] = mags
+            dense_neg[positions] = negative
+            stream, nbits, _ = _speck_codec.encode(dense_mags, dense_neg)
         return OutlierEncoding(stream=stream, nbits=nbits, n_outliers=positions.size)
 
     def decode(self, stream: bytes, nbits: int | None = None) -> tuple[np.ndarray, np.ndarray]:
@@ -102,8 +104,10 @@ class OutlierCoder:
         flat = reconstruction.reshape(-1)
         if flat.size != self.n:
             raise InvalidArgumentError("reconstruction length mismatch")
-        positions, corrections = self.decode(stream, nbits=nbits)
-        flat[positions] += corrections
+        with span("outlier.apply") as sp:
+            positions, corrections = self.decode(stream, nbits=nbits)
+            flat[positions] += corrections
+            sp.set(n_outliers=int(positions.size))
 
 
 def encode_outliers(

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import InvalidArgumentError
+from ..obs import span
 
 __all__ = ["locate_outliers"]
 
@@ -24,6 +25,8 @@ def locate_outliers(
         raise InvalidArgumentError("original and reconstruction shapes differ")
     if not np.isfinite(tolerance) or tolerance <= 0:
         raise InvalidArgumentError("PWE tolerance must be positive")
-    err = original.reshape(-1) - reconstruction.reshape(-1)
-    positions = np.flatnonzero(np.abs(err) > tolerance)
+    with span("outlier.locate", tolerance=tolerance) as sp:
+        err = original.reshape(-1) - reconstruction.reshape(-1)
+        positions = np.flatnonzero(np.abs(err) > tolerance)
+        sp.set(n_outliers=int(positions.size))
     return positions, err[positions]

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import span
 from ..quant import dequantize, integerize
 from .codec import SpeckDecoder, SpeckEncoder, SpeckStats, decode, encode
 from .geometry import Geometry, MaxPyramid
@@ -37,9 +38,11 @@ def encode_coefficients(
     without running the decoder (Sec. V-C step 3 still performs the
     inverse transform).
     """
-    mags, negative = integerize(coeffs, q)
-    stream, nbits, stats = encode(mags, negative, max_bits=max_bits)
-    recon = dequantize(mags, negative, q)
+    with span("speck.encode", q=q) as sp:
+        mags, negative = integerize(coeffs, q)
+        stream, nbits, stats = encode(mags, negative, max_bits=max_bits)
+        recon = dequantize(mags, negative, q)
+        sp.set(nbits=nbits)
     return stream, nbits, stats, recon
 
 
@@ -47,7 +50,8 @@ def decode_coefficients(
     data: bytes, shape: tuple[int, ...], q: float, nbits: int | None = None
 ) -> np.ndarray:
     """Decode a SPECK stream back to real coefficient values."""
-    rec_mags, negative = decode(data, shape, nbits=nbits)
-    out = rec_mags * q
-    out[negative] *= -1.0
+    with span("speck.decode", q=q):
+        rec_mags, negative = decode(data, shape, nbits=nbits)
+        out = rec_mags * q
+        out[negative] *= -1.0
     return out

@@ -188,7 +188,7 @@ class FuzzViolation:
 
     seed: int
     applied: tuple[str, ...]
-    kind: str  # "exception" | "hang"
+    kind: str  # "exception" | "hang" | "operator"
     detail: str
 
 
@@ -201,6 +201,13 @@ class FuzzReport:
     n_rejected: int = 0
     violations: list[FuzzViolation] = field(default_factory=list)
     slowest_seconds: float = 0.0
+    #: Campaign parameters, recorded so every violation is replayable
+    #: without hunting through the test that launched it.  ``operators``
+    #: is the *pool* the campaign drew from (None = all operators) — a
+    #: replay must pass the same pool, not the applied chain, because
+    #: :func:`corrupt` draws names from the pool with the seeded rng.
+    operators: tuple[str, ...] | None = None
+    n_ops: int = 1
 
     @property
     def ok(self) -> bool:
@@ -215,9 +222,12 @@ class FuzzReport:
             f"{len(self.violations)} contract violations"
         )
         if self.violations:
+            pool = list(self.operators) if self.operators is not None else None
             worst = self.violations[:5]
             lines = [
                 f"  seed={v.seed} ops={'+'.join(v.applied)} [{v.kind}] {v.detail}"
+                f"\n    replay: corrupt(payload, seed={v.seed}, "
+                f"operators={pool!r}, n_ops={self.n_ops})"
                 for v in worst
             ]
             head += "\n" + "\n".join(lines)
@@ -240,13 +250,28 @@ def fuzz_decoder(
     either succeed or raise a :class:`~repro.errors.ReproError`.  Any
     other exception, or a single decode slower than ``time_limit``
     seconds (the in-process stand-in for a hang), is recorded as a
-    violation.  Seeds are ``seed .. seed+n-1`` so a failure reported by
-    the returned :class:`FuzzReport` replays with :func:`corrupt`.
+    violation.  Seeds are ``seed .. seed+n-1``; the report records the
+    operator pool and ``n_ops``, and :meth:`FuzzReport.summary` prints a
+    ready-to-paste ``corrupt(...)`` replay line for each violation.
     """
-    report = FuzzReport()
+    report = FuzzReport(
+        operators=tuple(operators) if operators is not None else None,
+        n_ops=n_ops,
+    )
     for s in range(seed, seed + n):
-        case = corrupt(payload, s, operators=operators, n_ops=n_ops)
         report.n_runs += 1
+        try:
+            case = corrupt(payload, s, operators=operators, n_ops=n_ops)
+        except Exception as exc:  # noqa: BLE001 - operators must not raise
+            report.violations.append(
+                FuzzViolation(
+                    seed=s,
+                    applied=(),
+                    kind="operator",
+                    detail=f"corrupt() itself raised {type(exc).__name__}: {exc}",
+                )
+            )
+            continue
         t0 = time.perf_counter()
         try:
             decode(case.payload)

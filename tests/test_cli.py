@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -127,6 +129,60 @@ class TestCli:
         ]) == 0
         recon = np.load(back)
         assert (recon == -7.5).any() and not np.isnan(recon).any()
+
+    def test_fill_value_requires_salvage(self, npy_field, tmp_path, capsys):
+        path, _ = npy_field
+        out = tmp_path / "f.sperr"
+        back = tmp_path / "b.npy"
+        main(["compress", str(path), str(out), "--idx", "10"])
+        capsys.readouterr()
+        code = main(["decompress", str(out), str(back), "--fill-value", "0"])
+        assert code == EXIT_BAD_ARGS
+        assert "--salvage" in capsys.readouterr().err
+
+    def test_truncated_container_returns_corrupt_code(
+        self, npy_field, tmp_path, capsys
+    ):
+        path, _ = npy_field
+        out = tmp_path / "f.sperr"
+        main(["compress", str(path), str(out), "--idx", "10"])
+        out.write_bytes(out.read_bytes()[: out.stat().st_size // 2])
+        capsys.readouterr()
+        assert main(["decompress", str(out), str(tmp_path / "b.npy")]) == EXIT_CORRUPT
+        assert main(["info", str(out)]) == EXIT_CORRUPT
+
+    def test_salvage_on_clean_container_returns_zero(self, npy_field, tmp_path):
+        path, data = npy_field
+        out = tmp_path / "f.sperr"
+        back = tmp_path / "b.npy"
+        main(["compress", str(path), str(out), "--idx", "10", "--chunk", "8"])
+        assert main(["decompress", str(out), str(back), "--salvage"]) == 0
+        recon = np.load(back)
+        assert recon.shape == data.shape and not np.isnan(recon).any()
+
+    def test_compress_trace_writes_chrome_json(self, npy_field, tmp_path, capsys):
+        path, _ = npy_field
+        out = tmp_path / "f.sperr"
+        trace = tmp_path / "trace.json"
+        assert main([
+            "compress", str(path), str(out), "--idx", "10",
+            "--trace", str(trace), "--verbose",
+        ]) == 0
+        assert "stage" in capsys.readouterr().out  # --verbose prints the table
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"]
+        assert events and {e["ph"] for e in events} <= {"X", "C"}
+        assert "speck.encode" in {e["name"] for e in events}
+
+    def test_decompress_trace_writes_chrome_json(self, npy_field, tmp_path):
+        path, _ = npy_field
+        out = tmp_path / "f.sperr"
+        back = tmp_path / "b.npy"
+        trace = tmp_path / "trace.json"
+        main(["compress", str(path), str(out), "--idx", "10"])
+        assert main(["decompress", str(out), str(back), "--trace", str(trace)]) == 0
+        names = {e["name"] for e in json.loads(trace.read_text())["traceEvents"]}
+        assert "sperr.decompress" in names
 
     def test_parser_requires_bound(self, npy_field, tmp_path):
         path, _ = npy_field

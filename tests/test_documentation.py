@@ -29,6 +29,7 @@ PACKAGES = [
     "repro.metrics",
     "repro.datasets",
     "repro.analysis",
+    "repro.obs",
 ]
 
 
@@ -73,7 +74,7 @@ class TestRepoDocuments:
         "name",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
          "docs/algorithms.md", "docs/architecture.md", "docs/file-format.md",
-         "docs/api.md", "benchmarks/README.md"],
+         "docs/api.md", "docs/observability.md", "benchmarks/README.md"],
     )
     def test_document_exists_and_substantial(self, name):
         path = ROOT / name

@@ -204,11 +204,14 @@ class TestFaultInjectionMatrix:
     )
     @pytest.mark.parametrize("codec", sorted(_FUZZ_CODECS))
     def test_deep_fuzz(self, codec, fuzz_payloads):
-        """The acceptance campaign: 500 seeded corruptions per codec."""
+        """The acceptance campaign: 500 seeded corruptions per codec.
+
+        ``REPRO_FUZZ_N`` scales the campaign (CI smoke runs use a
+        smaller count; nightly runs can raise it).
+        """
         comp, _ = _FUZZ_CODECS[codec]
-        report = fuzz_decoder(
-            comp.decompress, fuzz_payloads[codec], n=500, seed=0
-        )
+        n = int(os.environ.get("REPRO_FUZZ_N", "500"))
+        report = fuzz_decoder(comp.decompress, fuzz_payloads[codec], n=n, seed=0)
         assert report.ok, f"{codec} deep fuzz: {report.summary()}"
 
     def test_corrupt_is_deterministic(self, payload):
