@@ -43,7 +43,8 @@ if str(ROOT / "src") not in sys.path:
 import numpy as np  # noqa: E402
 
 from repro import obs  # noqa: E402
-from repro.analysis.timing import STAGE_SPANS  # noqa: E402
+from repro import lossless  # noqa: E402
+from repro.analysis.timing import STAGE_SPANS, STAGE_SPANS_DECODE  # noqa: E402
 from repro.compressors import (  # noqa: E402
     MgardLikeCompressor,
     SperrCompressor,
@@ -106,23 +107,35 @@ def _make_cases() -> dict[str, dict]:
     }
 
 
-def _stage_breakdown(comp, data, mode) -> dict[str, float]:
-    """Per-stage compress seconds from one traced pass over the collector.
+def _stage_breakdown(comp, data, mode) -> tuple[dict[str, float], dict[str, float]]:
+    """Per-stage compress and decompress seconds from traced passes.
 
     Aggregates span wall time with the same Fig. 6 mapping the analysis
-    layer uses (:data:`repro.analysis.timing.STAGE_SPANS`) plus the
-    lossless final pass.  Baselines that never enter the SPERR pipeline
-    record no spans and get an empty dict.
+    layer uses (:data:`repro.analysis.timing.STAGE_SPANS` on the encode
+    side, plus the lossless final pass, and
+    :data:`~repro.analysis.timing.STAGE_SPANS_DECODE` on the decode
+    side).  Baselines that never enter the SPERR pipeline record no
+    spans and get empty dicts.
     """
     with obs.trace("bench.stages") as tracer:
-        comp.compress(data, mode)
+        payload = comp.compress(data, mode)
     totals = tracer.report().stage_totals()
     groups = dict(STAGE_SPANS, lossless=("lossless.encode",))
     stages = {
         stage: sum(totals.get(name, 0.0) for name in names)
         for stage, names in groups.items()
     }
-    return {k: v for k, v in stages.items() if v > 0.0}
+    with obs.trace("bench.stages.decode") as tracer:
+        comp.decompress(payload)
+    totals = tracer.report().stage_totals()
+    d_stages = {
+        stage: sum(totals.get(name, 0.0) for name in names)
+        for stage, names in STAGE_SPANS_DECODE.items()
+    }
+    return (
+        {k: v for k, v in stages.items() if v > 0.0},
+        {k: v for k, v in d_stages.items() if v > 0.0},
+    )
 
 
 def _time_case(case: dict, repeats: int) -> dict:
@@ -146,7 +159,7 @@ def _time_case(case: dict, repeats: int) -> dict:
         t2 = time.perf_counter()
         c_times.append(t1 - t0)
         d_times.append(t2 - t1)
-    stages = _stage_breakdown(comp, data, mode)
+    stages, d_stages = _stage_breakdown(comp, data, mode)
     if out.shape != data.shape:
         raise RuntimeError(f"round-trip shape mismatch: {out.shape} vs {data.shape}")
     if isinstance(mode, PweMode):
@@ -165,6 +178,8 @@ def _time_case(case: dict, repeats: int) -> dict:
     }
     if stages:
         entry["stages"] = dict(sorted(stages.items()))
+    if d_stages:
+        entry["stages_decompress"] = dict(sorted(d_stages.items()))
     return entry
 
 
@@ -178,6 +193,82 @@ def measure(repeats: int = 3, cases: dict | None = None) -> dict:
             f"  {name:16s} compress {out[name]['compress_s'] * 1e3:8.1f} ms   "
             f"decompress {out[name]['decompress_s'] * 1e3:8.1f} ms   "
             f"{out[name]['payload_bytes']:9d} B"
+        )
+    return out
+
+
+#: Per-method lossless micro-benchmark inputs: (method, generator, size).
+#: Each method gets data shaped to exercise its strengths, so the MB/s
+#: numbers track the code path that actually wins on such data.  The
+#: legacy per-bit ``ac`` coder runs on a small input (it exists only for
+#: stream compatibility and is ~40x slower than the range coder).
+_MICRO_SIZE = 1 << 20
+_MICRO_SIZE_AC = 1 << 16
+
+
+def _micro_runs(rng: np.random.Generator, n: int) -> bytes:
+    """Long runs of few byte values (RLE territory)."""
+    return np.repeat(
+        rng.integers(0, 4, size=n // 64, dtype=np.uint8), 64
+    )[:n].tobytes()
+
+
+def _micro_skewed(rng: np.random.Generator, n: int) -> bytes:
+    """Skewed iid bytes, ~3 bits/byte of entropy (Huffman/RC territory)."""
+    return np.minimum(rng.geometric(0.25, size=n) - 1, 255).astype(np.uint8).tobytes()
+
+
+def _micro_repetitive(rng: np.random.Generator, n: int) -> bytes:
+    """Random 256-byte fragments drawn from a small pool (LZ77 territory)."""
+    pool = rng.integers(0, 256, size=(16, 256), dtype=np.uint8)
+    picks = rng.integers(0, 16, size=n // 256 + 1)
+    return pool[picks].reshape(-1)[:n].tobytes()
+
+
+_MICRO_CASES = (
+    ("rle", _micro_runs, _MICRO_SIZE),
+    ("huffman", _micro_skewed, _MICRO_SIZE),
+    ("rle+huffman", _micro_runs, _MICRO_SIZE),
+    ("lz77", _micro_repetitive, _MICRO_SIZE),
+    ("ac", _micro_skewed, _MICRO_SIZE_AC),
+    ("rc", _micro_skewed, _MICRO_SIZE),
+)
+
+
+def measure_lossless_micro(repeats: int = 3) -> dict:
+    """Encode/decode throughput (MB of raw data per second) per method.
+
+    Every method is timed explicitly (not through ``auto``), so these
+    numbers isolate each codec kernel; a decoded-equals-input check runs
+    on every repeat.
+    """
+    out = {}
+    for method, gen, size in _MICRO_CASES:
+        data = gen(np.random.default_rng(42), size)
+        e_times, d_times = [], []
+        payload = lossless.compress(data, method=method)
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            payload = lossless.compress(data, method=method)
+            t1 = time.perf_counter()
+            back = lossless.decompress(payload)
+            t2 = time.perf_counter()
+            if back != data:
+                raise RuntimeError(f"lossless micro round-trip failed for {method}")
+            e_times.append(t1 - t0)
+            d_times.append(t2 - t1)
+        mb = len(data) / 1e6
+        entry = {
+            "input_bytes": len(data),
+            "payload_bytes": len(payload),
+            "ratio": round(len(payload) / len(data), 4),
+            "encode_MBps": round(mb / statistics.median(e_times), 2),
+            "decode_MBps": round(mb / statistics.median(d_times), 2),
+        }
+        out[method] = entry
+        print(
+            f"  lossless/{method:12s} encode {entry['encode_MBps']:8.1f} MB/s   "
+            f"decode {entry['decode_MBps']:8.1f} MB/s   ratio {entry['ratio']:.3f}"
         )
     return out
 
@@ -220,6 +311,7 @@ def run(argv: list[str] | None = None) -> int:
 
     print(f"bench_regression: {repeats} repeat(s) per case")
     timings = measure(repeats)
+    micro = measure_lossless_micro(repeats)
 
     doc = {}
     if BENCH_FILE.exists():
@@ -243,6 +335,7 @@ def run(argv: list[str] | None = None) -> int:
                 "cpu_count": os.cpu_count(),
             },
             "current": block,
+            "lossless_micro": micro,
             "plan_cache": _plan_cache_stats(),
         }
     )

@@ -37,6 +37,7 @@ from bench_regression import (  # noqa: E402
     HEADLINE_CASE,
     HEADLINE_MIN_SPEEDUP,
     measure,
+    measure_lossless_micro,
 )
 
 #: A stage regresses when current/reference exceeds this ratio.
@@ -150,32 +151,97 @@ def check_container_overhead() -> list[str]:
 _KNOWN_STAGES = frozenset(
     {"transform", "speck", "locate", "outlier_code", "lossless"}
 )
+#: ... and on the decompress side.
+_KNOWN_STAGES_DECODE = frozenset(
+    {"transform", "speck", "lossless", "outlier_apply"}
+)
 
 
 def check_trace_consistency(timings: dict) -> list[str]:
     """Sanity-check the span-collector stage breakdowns.
 
-    Every SPERR case must carry a ``stages`` dict (the baselines never
-    enter the instrumented pipeline, so theirs may be absent), the names
-    must be known, and SPECK coding — the pipeline's dominant stage —
-    must have recorded real time.
+    Every SPERR case must carry ``stages`` and ``stages_decompress``
+    dicts (the baselines never enter the instrumented pipeline, so
+    theirs may be absent), the names must be known, and SPECK coding —
+    the pipeline's dominant stage — must have recorded real time on
+    both sides.
     """
     problems = []
     for name, entry in sorted(timings.items()):
         if not name.startswith("sperr"):
             continue
-        stages = entry.get("stages")
-        if not stages:
-            problems.append(f"{name}: no span-derived stage breakdown recorded")
-            continue
-        unknown = set(stages) - _KNOWN_STAGES
-        if unknown:
-            problems.append(f"{name}: unknown stage names {sorted(unknown)}")
-        if stages.get("speck", 0.0) <= 0.0:
-            problems.append(f"{name}: speck stage recorded no time")
-        if any(v < 0.0 for v in stages.values()):
-            problems.append(f"{name}: negative stage time in {stages}")
+        for key, known in (
+            ("stages", _KNOWN_STAGES),
+            ("stages_decompress", _KNOWN_STAGES_DECODE),
+        ):
+            stages = entry.get(key)
+            if not stages:
+                problems.append(f"{name}: no span-derived {key} breakdown recorded")
+                continue
+            unknown = set(stages) - known
+            if unknown:
+                problems.append(f"{name}: unknown {key} names {sorted(unknown)}")
+            if stages.get("speck", 0.0) <= 0.0:
+                problems.append(f"{name}: speck stage recorded no time in {key}")
+            if any(v < 0.0 for v in stages.values()):
+                problems.append(f"{name}: negative stage time in {stages}")
     return problems
+
+
+#: Throughput keys gated in the lossless micro table (higher is better).
+_MICRO_KEYS = ("encode_MBps", "decode_MBps")
+
+
+def check_lossless_micro(
+    reference: dict, current: dict, *, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Gate the per-method lossless codec throughputs.
+
+    A method whose encode or decode MB/s dropped by more than the
+    threshold factor fails, as does a compression ratio that got
+    measurably worse (ratios are deterministic, so the bound is tight).
+    """
+    problems = []
+    for method, ref_entry in sorted(reference.items()):
+        cur_entry = current.get(method)
+        if cur_entry is None:
+            problems.append(f"lossless/{method}: missing from current run")
+            continue
+        for key in _MICRO_KEYS:
+            ref = ref_entry.get(key, 0.0)
+            cur = cur_entry.get(key, 0.0)
+            if ref <= 0.0 or cur <= 0.0:
+                continue
+            if ref / cur > threshold:
+                problems.append(
+                    f"lossless/{method}.{key}: {cur:.1f} MB/s vs reference "
+                    f"{ref:.1f} MB/s ({ref / cur:.2f}x slower, "
+                    f"threshold {threshold:.2f}x)"
+                )
+        ref_ratio = ref_entry.get("ratio", 0.0)
+        cur_ratio = cur_entry.get("ratio", 0.0)
+        if ref_ratio > 0.0 and cur_ratio > ref_ratio * 1.02:
+            problems.append(
+                f"lossless/{method}: compression ratio worsened "
+                f"{ref_ratio:.4f} -> {cur_ratio:.4f}"
+            )
+    return problems
+
+
+def _merge_best_micro(a: dict, b: dict) -> dict:
+    """Elementwise best (max throughput) of two micro-benchmark runs."""
+    out = {}
+    for method in set(a) | set(b):
+        ea, eb = a.get(method), b.get(method)
+        if ea is None or eb is None:
+            out[method] = ea or eb
+            continue
+        merged = dict(ea)
+        for key in _MICRO_KEYS:
+            if key in ea and key in eb:
+                merged[key] = max(ea[key], eb[key])
+        out[method] = merged
+    return out
 
 
 def run_gate(*, quick: bool = False, threshold: float = DEFAULT_THRESHOLD) -> list[str]:
@@ -210,6 +276,19 @@ def run_gate(*, quick: bool = False, threshold: float = DEFAULT_THRESHOLD) -> li
         print("gate tripped - re-measuring once to rule out machine noise")
         timings = _merge_best(timings, measure(repeats=repeats))
         problems = judge(timings)
+
+    micro_ref = doc.get("lossless_micro", {})
+    if micro_ref:
+        micro = measure_lossless_micro(repeats=repeats)
+        micro_problems = check_lossless_micro(micro_ref, micro, threshold=threshold)
+        if micro_problems:
+            print("lossless micro gate tripped - re-measuring once")
+            micro = _merge_best_micro(micro, measure_lossless_micro(repeats=repeats))
+            micro_problems = check_lossless_micro(
+                micro_ref, micro, threshold=threshold
+            )
+        problems += micro_problems
+
     problems += check_trace_consistency(timings)
     problems += check_container_overhead()
     return problems

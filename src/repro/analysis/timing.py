@@ -12,7 +12,13 @@ from ..compressors.base import Compressor, PsnrMode, psnr_target_for_idx
 from ..core.modes import PweMode
 from ..core.pipeline import compress_chunk
 
-__all__ = ["StageBreakdown", "time_breakdown", "runtime_point", "STAGE_SPANS"]
+__all__ = [
+    "StageBreakdown",
+    "time_breakdown",
+    "runtime_point",
+    "STAGE_SPANS",
+    "STAGE_SPANS_DECODE",
+]
 
 #: Fig. 6 stage -> the obs span names whose wall time it aggregates.
 #: ``locate`` includes the PWE-path inverse transform because the paper
@@ -22,6 +28,16 @@ STAGE_SPANS: dict[str, tuple[str, ...]] = {
     "speck": ("speck.encode",),
     "locate": ("outlier.locate", "wavelet.inverse"),
     "outlier_code": ("outlier.encode",),
+}
+
+#: Decompress-side stage -> span names, the mirror of :data:`STAGE_SPANS`
+#: for traced decode passes (``wavelet.inverse`` only runs once on that
+#: path, so no disambiguation against ``locate`` is needed).
+STAGE_SPANS_DECODE: dict[str, tuple[str, ...]] = {
+    "lossless": ("lossless.decode",),
+    "speck": ("speck.decode",),
+    "transform": ("wavelet.inverse",),
+    "outlier_apply": ("outlier.apply",),
 }
 
 

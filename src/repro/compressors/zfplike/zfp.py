@@ -23,7 +23,7 @@ import struct
 
 import numpy as np
 
-from ...bitstream import BitReader, BitWriter
+from ...bitstream import BitWriter
 from ...core.modes import PweMode, SizeMode
 from ...core.plans import zfp_scan_order
 from ...errors import InvalidArgumentError, StreamFormatError
@@ -133,65 +133,69 @@ def _encode_block(
     writer.write_bits(np.asarray(bits, dtype=np.bool_))
 
 
-def _decode_block(
-    reader: BitReader, size: int, kmin: int, max_bits: int | None
-) -> tuple[np.ndarray, int, bool]:
-    """Mirror of :func:`_encode_block`; returns (negabinary values, e, nonzero)."""
-    start = reader.pos
-    if reader.remaining < 1:
+def _decode_block_bits(
+    bits: list[int], pos: int, total: int, size: int, kmin: int, max_bits: int | None
+) -> tuple[list[int] | None, int, bool, int]:
+    """Mirror of :func:`_encode_block` over a plain 0/1 list.
+
+    Returns ``(negabinary values | None, e, nonzero, new_pos)``; ``None``
+    values mean an all-zero block.  Working on a pre-unpacked bit list
+    with an integer cursor keeps the group-testing walk free of reader
+    method calls — this loop is the whole cost of ZFP decompression.
+    """
+    start = pos
+    if pos >= total:
         raise StreamFormatError("zfp stream exhausted at block start")
-    nonzero = reader.read_bit()
+    nonzero = bits[pos]
+    pos += 1
     if not nonzero:
         if max_bits is not None:
-            reader.read_bits(max(0, max_bits - (reader.pos - start)))
-        return np.zeros(size, dtype=np.uint64), 0, False
-    e = reader.read_uint(_EXP_BITS) - _EXP_BIAS
+            # skip the zero-padding up to the fixed block budget
+            pos = min(total, max(pos, start + max_bits))
+        return None, 0, False, pos
+    if pos + _EXP_BITS > total:
+        raise StreamFormatError("zfp stream exhausted reading block exponent")
+    e = 0
+    for _ in range(_EXP_BITS):
+        e = (e << 1) | bits[pos]
+        pos += 1
+    e -= _EXP_BIAS
     vals = [0] * size
     n = 0
-    budget = None if max_bits is None else max_bits - (reader.pos - start)
-    used = 0
-
-    def take() -> int | None:
-        nonlocal used
-        if budget is not None and used >= budget:
-            return None
-        if reader.remaining < 1:
-            return None
-        used += 1
-        return 1 if reader.read_bit() else 0
+    # Every probe consumes exactly one bit, so the budget and stream
+    # bounds collapse into a single stop position for the cursor.
+    stop_at = total if max_bits is None else min(total, start + max_bits)
 
     stop = False
     for k in range(PRECISION - 2, kmin - 1, -1):
-        if stop:
-            break
         # verbatim bits for already-significant coefficients
         for i in range(n):
-            b = take()
-            if b is None:
+            if pos >= stop_at:
                 stop = True
                 break
-            if b:
+            if bits[pos]:
                 vals[i] |= 1 << k
+            pos += 1
         if stop:
             break
         m = n
         while m < size:
-            b = take()  # group bit: "is there another 1 at or beyond m?"
-            if b is None:
+            if pos >= stop_at:  # group bit: "another 1 at or beyond m?"
                 stop = True
                 break
+            b = bits[pos]
+            pos += 1
             if not b:
                 break
             # scan explicit zeros up to the next 1; if the scan reaches the
             # final coefficient, its 1 is implicit (the group bit proved it)
-            found = False
             while m < size - 1:
-                bit = take()
-                if bit is None:
+                if pos >= stop_at:
                     stop = True
                     break
+                bit = bits[pos]
+                pos += 1
                 if bit:
-                    found = True
                     break
                 m += 1
             if stop:
@@ -201,9 +205,10 @@ def _decode_block(
         if stop:
             break
         n = m if m > n else n
-    if budget is not None and used < budget:
-        reader.read_bits(budget - used)
-    return np.asarray(vals, dtype=np.uint64), e, True
+    if max_bits is not None:
+        # consume any unread remainder of the fixed block budget
+        pos = min(total, start + max_bits)
+    return vals, e, True, pos
 
 
 class ZfpLikeCompressor(Compressor):
@@ -313,37 +318,54 @@ class ZfpLikeCompressor(Compressor):
             raise StreamFormatError(
                 f"zfp-like payload declares {nb} blocks in {nbits} bits"
             )
-        reader = BitReader(payload[pos:], nbits=int(nbits))
+        total = int(nbits)
+        if total > 8 * (len(payload) - pos):
+            raise StreamFormatError(
+                f"declared {total} bits but buffer holds only "
+                f"{8 * (len(payload) - pos)}"
+            )
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8, offset=pos))[
+            :total
+        ].tolist()
         max_bits = block_bits if mode_code == 0 else None
 
         u = np.zeros((nb, size), dtype=np.uint64)
         exps = np.zeros(nb, dtype=np.int64)
         nonzero = np.zeros(nb, dtype=bool)
+        if mode_code == 1:
+            # fixed-accuracy: the encoder's plane cutoff is kbase - e per
+            # block; everything but the exponent is block-independent, so
+            # hoist it out of the loop (math.log2 == np.log2 on scalars).
+            kbase = math.floor(math.log2(param)) + _SCALE_EXP - nd * _ACCURACY_GUARD
+        bpos = 0
         for b in range(nb):
             if mode_code == 1:
-                # fixed-accuracy: recompute the encoder's kmin per block
-                # after reading the exponent; peek by decoding with kmin=0
-                # is wrong, so replicate the formula inline.
-                start = reader.pos
-                if reader.remaining < 1:
+                # peek at the flag + exponent to derive kmin, then decode
+                # the block normally from its start (a list peek is free —
+                # no reader rewind needed).
+                if bpos >= total:
                     raise StreamFormatError("zfp stream exhausted")
-                nz = reader.read_bit()
-                if not nz:
-                    continue
-                e = reader.read_uint(_EXP_BITS) - _EXP_BIAS
-                guard = nd * _ACCURACY_GUARD
-                kmin = max(
-                    0,
-                    int(np.floor(np.log2(param))) + _SCALE_EXP - e - guard,
+                kmin = 0
+                if bits[bpos]:
+                    if bpos + 1 + _EXP_BITS > total:
+                        raise StreamFormatError(
+                            "zfp stream exhausted reading block exponent"
+                        )
+                    e = 0
+                    for t in range(_EXP_BITS):
+                        e = (e << 1) | bits[bpos + 1 + t]
+                    kmin = max(0, kbase - (e - _EXP_BIAS))
+                vals, e2, nz2, bpos = _decode_block_bits(
+                    bits, bpos, total, size, kmin, None
                 )
-                # rewind to block start and decode normally
-                reader.seek(start)
-                vals, e2, nz2 = _decode_block(reader, size, kmin, None)
             else:
-                vals, e2, nz2 = _decode_block(reader, size, 0, max_bits)
-            u[b] = vals
-            exps[b] = e2
-            nonzero[b] = nz2
+                vals, e2, nz2, bpos = _decode_block_bits(
+                    bits, bpos, total, size, 0, max_bits
+                )
+            if nz2:
+                u[b] = vals
+                exps[b] = e2
+                nonzero[b] = True
 
         _, inv_perm = zfp_scan_order(nd)
         coeffs = from_negabinary(u)[:, inv_perm]

@@ -119,9 +119,18 @@ def _compress_chunk_job(
     mode: PweMode | SizeMode | PsnrMode,
     wavelet: str,
     levels: int | None,
+    lossless_method: str,
 ) -> tuple[bytes, ChunkReport]:
-    """Module-level chunk job (picklable for the process executor)."""
-    return compress_chunk(part, mode, wavelet=wavelet, levels=levels)
+    """Module-level chunk job (picklable for the process executor).
+
+    The lossless final pass runs here — inside the executor — so chunked
+    compression parallelizes the entropy-coding stage along with the
+    transform/SPECK stages instead of serializing it in the parent.
+    """
+    raw, report = compress_chunk(part, mode, wavelet=wavelet, levels=levels)
+    packed = lossless.compress(raw, method=lossless_method)
+    report.total_nbytes = len(packed)
+    return packed, report
 
 
 def _decompress_chunk_job(
@@ -259,17 +268,12 @@ def _compress_impl(
             _compress_chunk_job,
             data,
             chunks,
-            args=(mode, wavelet, levels),
+            args=(mode, wavelet, levels, lossless_method),
             executor=executor,
             workers=workers,
         )
-        streams = []
-        reports = []
-        for raw, report in results:
-            packed = lossless.compress(raw, method=lossless_method)
-            report.total_nbytes = len(packed)
-            streams.append(packed)
-            reports.append(report)
+        streams = [packed for packed, _ in results]
+        reports = [report for _, report in results]
 
         mode_code = 0 if isinstance(mode, PweMode) else (2 if isinstance(mode, PsnrMode) else 1)
         with obs.span("container.build", n_chunks=len(chunks)):

@@ -1,7 +1,19 @@
-"""From-scratch lossless codecs: Huffman, RLE, LZ77, and the composite
-backend used as SPERR's final (ZSTD-substitute) pass."""
+"""From-scratch lossless codecs: Huffman, RLE, LZ77, a static range
+coder, and the composite backend used as SPERR's final (ZSTD-substitute)
+pass.  See docs/lossless.md for stream formats and the selection policy."""
 
-from . import arith, huffman, lz77, rle, universal
+from . import arith, bitpack, huffman, lz77, rc, rle, universal
 from .backend import METHODS, compress, decompress
 
-__all__ = ["compress", "decompress", "METHODS", "arith", "huffman", "rle", "lz77", "universal"]
+__all__ = [
+    "compress",
+    "decompress",
+    "METHODS",
+    "arith",
+    "bitpack",
+    "huffman",
+    "rc",
+    "rle",
+    "lz77",
+    "universal",
+]

@@ -8,6 +8,24 @@ of the ZSTD pass (a small, data-dependent saving on top of the entropy-dense
 SPECK output, a larger one on structured sections such as code books).
 
 The one-byte method tag at the front makes every payload self-describing.
+Tags 0–5 are the legacy formats and stay decodable forever; tag 6 is the
+vectorized static range coder that replaced the per-bit adaptive coder on
+the encode side (``method="ac"`` still encodes tag 5 for compatibility
+experiments, but ``auto`` never picks it).  docs/lossless.md documents the
+formats and the selection policy.
+
+``auto`` prices candidates cheapest-first and hands each coder the current
+best size as an abort budget, so losing candidates stop early instead of
+finishing a payload that will be thrown away:
+
+1. ``stored`` is the floor.
+2. ``rle`` is priced exactly from the run histogram before encoding.
+3. ``huffman`` / ``rle+huffman`` are priced exactly from the byte
+   histogram and the code-length table; only a winner is packed.
+4. ``rc`` is skipped when the order-0 entropy bound already loses, and
+   aborts mid-stream past the budget.
+5. ``lz77`` runs under the entropy gate below (dictionary matching is
+   the most expensive probe and cannot win on entropy-dense data).
 """
 
 from __future__ import annotations
@@ -18,7 +36,7 @@ import numpy as np
 
 from ..errors import InvalidArgumentError, StreamFormatError
 from ..obs import span
-from . import arith, huffman, lz77, rle
+from . import arith, huffman, lz77, rc, rle
 
 __all__ = ["compress", "decompress", "METHODS"]
 
@@ -28,35 +46,44 @@ _TAG_HUFFMAN = 2
 _TAG_RLE_HUFFMAN = 3
 _TAG_LZ77 = 4
 _TAG_AC = 5
+_TAG_RC = 6
 
-METHODS = ("stored", "rle", "huffman", "rle+huffman", "lz77", "ac", "auto")
+METHODS = ("stored", "rle", "huffman", "rle+huffman", "lz77", "ac", "rc", "auto")
 
-_LZ77_SIZE_LIMIT = 1 << 18  # LZ77 match finding is a Python loop; cap input
-_AC_SIZE_LIMIT = 1 << 16  # arithmetic coding is per-bit Python; cap input
+#: ``auto`` hands payloads up to this size to the LZ77 probe (the
+#: vectorized matcher runs ~1 MiB in well under a second; the old
+#: per-byte encoder capped out at 256 KiB).
+_LZ77_SIZE_LIMIT = 1 << 20
 
-#: ``auto`` skips the Python-loop candidates (LZ77, AC) when the input's
-#: order-0 entropy exceeds this many bits per byte: entropy-dense SPECK
-#: output is essentially incompressible, and on such data those coders
-#: cost hundreds of milliseconds per chunk to save well under 1%.
+#: ``auto`` skips the LZ77 probe when the input's order-0 entropy exceeds
+#: this many bits per byte: entropy-dense SPECK output is essentially
+#: incompressible, and dictionary matching cannot beat the entropy coders
+#: there.  (The former ``_AC_SIZE_LIMIT`` is gone: the range coder that
+#: replaced AC in ``auto`` is vectorized, so method selection no longer
+#: changes at a size threshold.)
 _DENSE_ENTROPY_BITS = 7.0
-#: ... but always try everything on tiny inputs, where they are cheap.
+#: ... but always probe everything on tiny inputs, where it is cheap.
 _SMALL_INPUT_BYTES = 1 << 11
 
 
-def _entropy_bits_per_byte(data: bytes) -> float:
-    """Order-0 (byte-histogram) entropy of ``data`` in bits per byte."""
-    counts = np.bincount(np.frombuffer(data, dtype=np.uint8), minlength=256)
-    p = counts[counts > 0] / len(data)
+def _entropy_bits_per_byte(counts: np.ndarray, n: int) -> float:
+    """Order-0 entropy in bits per byte, from a byte histogram."""
+    p = counts[counts > 0] / n
     return float(-(p * np.log2(p)).sum())
 
 
-def _huffman_pack(data: bytes) -> bytes:
-    arr = np.frombuffer(data, dtype=np.uint8)
-    freqs = np.bincount(arr, minlength=256)
-    code = huffman.build_code(freqs)
+def _huffman_pack(data: bytes, arr: np.ndarray, freqs: np.ndarray,
+                  code: huffman.HuffmanCode) -> bytes:
     payload, nbits = huffman.encode(arr, code)
     book = huffman.serialize_code(code)
     return struct.pack("<QQ", len(data), nbits) + book + payload
+
+
+def _huffman_packed_size(n: int, freqs: np.ndarray, code: huffman.HuffmanCode) -> int:
+    """Exact byte size :func:`_huffman_pack` would produce, without packing."""
+    nbits = huffman.encoded_nbits(freqs, code)
+    book = len(huffman.serialize_code(code))
+    return 16 + book + ((nbits + 7) >> 3)
 
 
 def _huffman_unpack(data: bytes) -> bytes:
@@ -83,54 +110,102 @@ def _huffman_unpack(data: bytes) -> bytes:
 def compress(data: bytes, method: str = "auto") -> bytes:
     """Losslessly compress ``data`` with the chosen method.
 
-    ``auto`` tries stored, RLE, Huffman, RLE+Huffman (and, when the data
-    is small or its byte entropy suggests real redundancy, LZ77 and
-    arithmetic coding) and keeps the smallest result.
+    ``auto`` prices stored, RLE, Huffman, RLE+Huffman and the range coder
+    (plus LZ77 when the data is small or its byte entropy suggests real
+    redundancy) and keeps the smallest result.
     """
     with span("lossless.encode", method=method) as sp:
         out = _compress_body(data, method)
+        sp.set(tag=out[0])
         sp.add("lossless.bytes_in", len(data)).add("lossless.bytes_out", len(out))
     return out
 
 
+def _compress_explicit(data: bytes, method: str) -> bytes:
+    """Encode with one specific method (returned even if larger)."""
+    if method == "rle":
+        return bytes([_TAG_RLE]) + rle.encode(data)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    if method in ("huffman", "rle+huffman"):
+        tag = _TAG_HUFFMAN if method == "huffman" else _TAG_RLE_HUFFMAN
+        if method == "rle+huffman":
+            data = rle.encode(data)
+            arr = np.frombuffer(data, dtype=np.uint8)
+        freqs = np.bincount(arr, minlength=256)
+        code = huffman.build_code(freqs)
+        return bytes([tag]) + _huffman_pack(data, arr, freqs, code)
+    if method == "lz77":
+        return bytes([_TAG_LZ77]) + lz77.encode(data)
+    if method == "ac":
+        return bytes([_TAG_AC]) + arith.encode(data)
+    assert method == "rc"
+    return bytes([_TAG_RC]) + rc.encode(data)
+
+
 def _compress_body(data: bytes, method: str) -> bytes:
-    """Candidate generation and selection, inside the encode span."""
+    """Candidate pricing and selection, inside the encode span."""
     if method not in METHODS:
         raise InvalidArgumentError(f"unknown lossless method {method!r}")
-    if method == "stored":
+    if method == "stored" or not data:
         return bytes([_TAG_STORED]) + data
+    if method != "auto":
+        return _compress_explicit(data, method)
 
-    candidates: list[bytes] = [bytes([_TAG_STORED]) + data]
-    if data:
-        # Entropy gate for the expensive pure-Python candidates: on
-        # entropy-dense sections (SPECK output sits near 8 bits/byte)
-        # LZ77 and AC cannot meaningfully beat Huffman, so ``auto``
-        # skips them — this is the hot path of every chunked compress.
-        try_slow = (
-            len(data) <= _SMALL_INPUT_BYTES
-            or _entropy_bits_per_byte(data) < _DENSE_ENTROPY_BITS
-        )
-        if method in ("rle", "auto"):
-            candidates.append(bytes([_TAG_RLE]) + rle.encode(data))
-        if method in ("huffman", "auto"):
-            candidates.append(bytes([_TAG_HUFFMAN]) + _huffman_pack(data))
-        if method in ("rle+huffman", "auto"):
-            candidates.append(
-                bytes([_TAG_RLE_HUFFMAN]) + _huffman_pack(rle.encode(data))
+    n = len(data)
+    best = bytes([_TAG_STORED]) + data
+
+    # RLE: each (value, run<=255) pair costs two bytes; the pair count
+    # follows from the change points, so the size is exact and free.
+    arr = np.frombuffer(data, dtype=np.uint8)
+    changes = np.flatnonzero(np.diff(arr)) + 1
+    bounds = np.concatenate(([0], changes, [n]))
+    runs = np.diff(bounds)
+    n_pairs = int((-(-runs // 255)).sum())
+    rle_size = 1 + 8 + 2 * n_pairs
+    rle_data: bytes | None = None
+    if rle_size < len(best):
+        rle_data = rle.encode(data)
+        best = bytes([_TAG_RLE]) + rle_data
+
+    # Huffman over the raw bytes and over the RLE'd bytes: exact sizes
+    # from histogram x code-length tables; pack only what wins.
+    freqs = np.bincount(arr, minlength=256)
+    code = huffman.build_code(freqs)
+    if 1 + _huffman_packed_size(n, freqs, code) < len(best):
+        best = bytes([_TAG_HUFFMAN]) + _huffman_pack(data, arr, freqs, code)
+    rle_nbytes = 8 + 2 * n_pairs
+    if rle_data is None and 21 + (rle_nbytes >> 3) < len(best):
+        # The RLE+Huffman probe needs the actual RLE bytes.  Huffman
+        # spends at least one bit per input byte plus ~21 bytes of tag,
+        # header and minimal code book, so when even that floor loses
+        # there is no point materializing the RLE form.
+        rle_data = rle.encode(data)
+    if rle_data is not None:
+        rarr = np.frombuffer(rle_data, dtype=np.uint8)
+        rfreqs = np.bincount(rarr, minlength=256)
+        rcode = huffman.build_code(rfreqs)
+        if 1 + _huffman_packed_size(len(rle_data), rfreqs, rcode) < len(best):
+            best = bytes([_TAG_RLE_HUFFMAN]) + _huffman_pack(
+                rle_data, rarr, rfreqs, rcode
             )
-        if method == "lz77" or (
-            method == "auto" and try_slow and len(data) <= _LZ77_SIZE_LIMIT
-        ):
-            candidates.append(bytes([_TAG_LZ77]) + lz77.encode(data))
-        if method == "ac" or (
-            method == "auto" and try_slow and len(data) <= _AC_SIZE_LIMIT
-        ):
-            candidates.append(bytes([_TAG_AC]) + arith.encode(data))
-    if method != "auto" and len(candidates) > 1:
-        # A specific method was requested: return it even if larger than
-        # stored, except that empty input always stores.
-        return candidates[-1]
-    return min(candidates, key=len)
+
+    # Range coder: its payload cannot beat the order-0 entropy bound plus
+    # its fixed header, so skip it when that bound already loses.
+    entropy = _entropy_bits_per_byte(freqs, n)
+    rc_floor = 1 + 9 + 384 + int(entropy * n / 8)
+    if rc_floor < len(best):
+        cand = rc.encode(data, max_bytes=len(best) - 2)
+        if cand is not None and 1 + len(cand) < len(best):
+            best = bytes([_TAG_RC]) + cand
+
+    # LZ77: the expensive probe, gated to data with byte-level redundancy.
+    if (n <= _SMALL_INPUT_BYTES or entropy < _DENSE_ENTROPY_BITS) and (
+        n <= _LZ77_SIZE_LIMIT
+    ):
+        cand = lz77.encode(data, max_bytes=len(best) - 2)
+        if cand is not None and 1 + len(cand) < len(best):
+            best = bytes([_TAG_LZ77]) + cand
+    return best
 
 
 def decompress(payload: bytes) -> bytes:
@@ -140,6 +215,7 @@ def decompress(payload: bytes) -> bytes:
     with span("lossless.decode") as sp:
         out = _decompress_body(payload)
         sp.set(tag=payload[0])
+        sp.add("lossless.bytes_in", len(payload)).add("lossless.bytes_out", len(out))
     return out
 
 
@@ -158,4 +234,6 @@ def _decompress_body(payload: bytes) -> bytes:
         return lz77.decode(body)
     if tag == _TAG_AC:
         return arith.decode(body)
+    if tag == _TAG_RC:
+        return rc.decode(body)
     raise StreamFormatError(f"unknown lossless method tag {tag}")

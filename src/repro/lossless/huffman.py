@@ -8,11 +8,14 @@ This is the entropy-coding substrate used in three places:
 * the QCAT ``compressQuantBins`` equivalent used by the Fig. 11 outlier
   coding comparison.
 
-Encoding is fully vectorized: symbols are mapped to (code, length) pairs
-through table lookups and scattered into a bit array in one pass.  Decoding
-uses a windowed lookup table over the next ``max_len`` bits; the per-symbol
-loop is plain Python but each iteration is two array reads, which is fast
-enough for the stream sizes this reproduction handles.
+Both directions are table-driven and vectorized (docs/lossless.md has the
+kernel design).  Encoding gathers each symbol's (code, length) pair and
+batch-packs the fields with :func:`repro.lossless.bitpack.pack_msb`.
+Decoding gathers the next-``max_len``-bits window at every bit offset
+through a flat ``2**max_len`` lookup table; the only sequential part left
+is the code-length chain walk (one list read + add per symbol), because
+symbol boundaries are data-dependent.  Decode tables for short codes are
+cached in :mod:`repro.core.plans` keyed by the length table.
 """
 
 from __future__ import annotations
@@ -23,10 +26,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import InvalidArgumentError, StreamFormatError
+from . import bitpack
 
-__all__ = ["HuffmanCode", "build_code", "encode", "decode"]
+__all__ = ["HuffmanCode", "build_code", "encode", "decode", "encoded_nbits"]
 
 _MAX_CODE_LEN = 24  # encoder clamps to this; the decode window table is 2**max_len entries
+
+#: Decode tables are memoized in ``core.plans`` only up to this code
+#: length (a 2**16-entry table is 512 KiB; anything longer is rebuilt per
+#: call so a forged code book cannot pin huge tables in the cache).
+_CACHE_MAX_LEN = 16
 
 
 @dataclass(frozen=True)
@@ -133,47 +142,38 @@ def build_code(freqs: np.ndarray) -> HuffmanCode:
     return HuffmanCode(lengths=lengths, codes=_canonical_codes(lengths))
 
 
+def encoded_nbits(freqs: np.ndarray, code: HuffmanCode) -> int:
+    """Exact bit count :func:`encode` would produce for this histogram.
+
+    Lets the ``auto`` selector price a Huffman candidate from the
+    frequency table alone and skip packing when it cannot win.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    return int((freqs * code.lengths.astype(np.int64)).sum())
+
+
 def encode(symbols: np.ndarray, code: HuffmanCode) -> tuple[bytes, int]:
     """Encode a symbol array; returns ``(packed_bytes, nbits)``.
 
-    Fully vectorized: each symbol's code bits are expanded with
-    ``unpackbits`` on the 32-bit code values and scattered to their cumsum
-    offsets in the output bit array.
+    Two table gathers (code value, code length) followed by one batched
+    :func:`~repro.lossless.bitpack.pack_msb` pass.
     """
     symbols = np.asarray(symbols)
     if symbols.size == 0:
         return b"", 0
     lens = code.lengths[symbols].astype(np.int64)
-    if np.any(lens == 0):
+    if not lens.all():
         raise InvalidArgumentError("symbol without a code encountered")
-    codes = code.codes[symbols]
-
-    total = int(lens.sum())
-    out = np.zeros(total, dtype=np.uint8)
-    # Bit j of symbol i (0 = MSB of its code) lands at offset[i] + j.
-    offsets = np.concatenate(([0], np.cumsum(lens)[:-1]))
-    # Expand each code into its `len` MSB-first bits.
-    max_len = int(lens.max())
-    shifts = np.arange(max_len - 1, -1, -1, dtype=np.uint32)
-    # bits_mat[i, j] = bit (len_i - 1 - j) ... we want MSB first per symbol:
-    # value >> (len-1-j) & 1 for j in [0, len)
-    j = np.arange(max_len)
-    valid = j[None, :] < lens[:, None]
-    shift = (lens[:, None] - 1 - j[None, :]).clip(min=0).astype(np.uint32)
-    bits_mat = (codes[:, None] >> shift) & np.uint32(1)
-    flat_positions = (offsets[:, None] + j[None, :])[valid]
-    out[flat_positions] = bits_mat[valid].astype(np.uint8)
-    return np.packbits(out).tobytes(), total
+    return bitpack.pack_msb(code.codes[symbols], lens)
 
 
-def decode(data: bytes, nbits: int, nsymbols: int, code: HuffmanCode) -> np.ndarray:
-    """Decode ``nsymbols`` symbols from a packed Huffman bit stream."""
-    if nsymbols == 0:
-        return np.zeros(0, dtype=np.int64)
-    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))[:nbits]
-    if bits.size < nbits:
-        raise StreamFormatError("huffman stream shorter than declared")
+def build_window_table(code: HuffmanCode) -> tuple[np.ndarray, np.ndarray, int]:
+    """Flat decode table: next ``max_len`` bits -> (symbol, code length).
 
+    Returns ``(table_sym, table_len, max_len)`` where invalid windows map
+    to symbol ``-1`` / length ``0``.  The arrays are read-only so they can
+    be shared through the plan cache.
+    """
     used = np.flatnonzero(code.lengths > 0)
     if used.size == 0:
         raise StreamFormatError("empty code book")
@@ -185,37 +185,68 @@ def decode(data: bytes, nbits: int, nsymbols: int, code: HuffmanCode) -> np.ndar
         raise StreamFormatError(
             f"huffman code length {max_len} exceeds the {_MAX_CODE_LEN}-bit limit"
         )
-
-    # Window table: value of next `max_len` bits -> (symbol, length).
-    table_sym = np.full(1 << max_len, -1, dtype=np.int64)
-    table_len = np.zeros(1 << max_len, dtype=np.int64)
+    table_sym = np.full(1 << max_len, -1, dtype=np.int32)
+    table_len = np.zeros(1 << max_len, dtype=np.int32)
     for sym in used.tolist():
         length = int(code.lengths[sym])
         base = int(code.codes[sym]) << (max_len - length)
         span = 1 << (max_len - length)
         table_sym[base : base + span] = sym
         table_len[base : base + span] = length
+    table_sym.setflags(write=False)
+    table_len.setflags(write=False)
+    return table_sym, table_len, max_len
 
-    # Window values at every bit offset via correlation with powers of two.
-    kernel = (1 << np.arange(max_len - 1, -1, -1)).astype(np.int64)
-    padded = np.concatenate([bits.astype(np.int64), np.zeros(max_len - 1, dtype=np.int64)])
-    windows = np.convolve(padded, kernel[::-1], mode="valid")[: bits.size]
 
-    out = np.empty(nsymbols, dtype=np.int64)
+def _window_table(code: HuffmanCode) -> tuple[np.ndarray, np.ndarray, int]:
+    """Fetch (or build) the decode table, memoized for short codes.
+
+    Canonical code values are a pure function of the length table, so the
+    lengths alone key the cache (every code book in this package is built
+    canonically).  Long codes bypass the cache — see :data:`_CACHE_MAX_LEN`.
+    """
+    max_len = int(code.lengths.max(initial=0))
+    if max_len == 0 or max_len > _CACHE_MAX_LEN:
+        return build_window_table(code)
+    from ..core import plans
+
+    return plans.huffman_window_table(code)
+
+
+def decode(data: bytes, nbits: int, nsymbols: int, code: HuffmanCode) -> np.ndarray:
+    """Decode ``nsymbols`` symbols from a packed Huffman bit stream."""
+    if nsymbols == 0:
+        return np.zeros(0, dtype=np.int64)
+    if nbits > len(data) * 8:
+        raise StreamFormatError("huffman stream shorter than declared")
+    table_sym, table_len, max_len = _window_table(code)
+
+    # Zero any tail bits of the last byte beyond ``nbits`` so windows near
+    # the end read the same zero padding the bit-array decoder saw.
+    nbytes = (nbits + 7) >> 3
+    buf = np.frombuffer(data, dtype=np.uint8, count=nbytes).copy()
+    if nbits & 7:
+        buf[-1] &= 0xFF << (8 - (nbits & 7)) & 0xFF
+    windows = bitpack.byte_windows(buf)
+
+    # Window value, candidate symbol and code length at every bit offset;
+    # the data-dependent walk then just chains code lengths.
+    pos_all = np.arange(nbits, dtype=np.int64)
+    win = bitpack.extract_msb(windows, pos_all, max_len)
+    sym_at = table_sym[win]
+    steps = table_len[win].tolist()
+
+    positions = []
+    append = positions.append
     pos = 0
-    wins = windows  # local alias for speed
-    tsym = table_sym
-    tlen = table_len
-    total_bits = int(bits.size)
-    for i in range(nsymbols):
-        if pos >= total_bits:
+    for _ in range(nsymbols):
+        if pos >= nbits:
             raise StreamFormatError("huffman stream exhausted mid-symbol")
-        w = wins[pos]
-        sym = tsym[w]
-        if sym < 0:
-            raise StreamFormatError("invalid huffman code word")
-        out[i] = sym
-        pos += tlen[w]
+        append(pos)
+        pos += steps[pos]
+    out = sym_at[positions].astype(np.int64)
+    if out.min(initial=0) < 0:
+        raise StreamFormatError("invalid huffman code word")
     return out
 
 

@@ -1,10 +1,21 @@
-"""LZ77 with hash-chain match finding.
+"""LZ77 with vectorized hash-chain match finding.
 
 This supplies the dictionary-matching half of the "deflate-like" lossless
-backend (the ZSTD stand-in; see DESIGN.md).  Match finding is a Python loop
-with a 4-byte-hash chain table, so the backend only routes small-to-medium
-payloads (headers, code books, low-entropy sections) through it; the
-``auto`` selector keeps whichever candidate is smallest.
+backend (the ZSTD stand-in; see DESIGN.md and docs/lossless.md).  The
+stream format is unchanged from the original per-byte encoder, so old
+payloads decode bit-for-bit; only how matches are *found* and how tokens
+are *packed* moved to numpy:
+
+* candidates: every position is hashed on its next 4 bytes at once; a
+  stable sort groups equal hashes, and shifting the sorted order by
+  ``k = 1..8`` yields each position's k-th most recent same-hash
+  predecessor — the hash chain, probed in bulk.
+* verification/extension: 4-byte equality via ``uint32`` views, then
+  8-bytes-at-a-time extension with the mismatch located by counting the
+  XOR's trailing zero bytes.
+* parsing stays greedy (jump over each emitted match) but walks one
+  Python step per *token run*, not per byte; token bit fields are then
+  batch-packed with :func:`~repro.lossless.bitpack.pack_msb`.
 
 Token format (bit-packed, MSB-first):
   flag=0: literal byte (8 bits)
@@ -17,97 +28,274 @@ import struct
 
 import numpy as np
 
-from ..bitstream import BitReader, BitWriter
 from ..errors import StreamFormatError
+from . import bitpack
 
 __all__ = ["encode", "decode", "MIN_MATCH", "MAX_MATCH", "WINDOW"]
 
 MIN_MATCH = 4
 MAX_MATCH = MIN_MATCH + 255
 WINDOW = 1 << 16
-_CHAIN_LIMIT = 16
+#: How many same-hash predecessors each position probes.  The vectorized
+#: prober pays one array pass per depth, so this is a direct
+#: time/ratio knob (the old per-byte encoder walked up to 16).
+_CHAIN_DEPTH = 8
+#: The ``auto`` backend routes payloads up to ``_LZ77_SIZE_LIMIT``
+#: (1 MiB) through the encoder; the decoder accepts a little headroom
+#: beyond that so explicit-method streams stay decodable.
+_MAX_DECODE_BYTES = 1 << 22
 
 
-def _hash4(data: bytes, i: int) -> int:
-    return (data[i] * 506832829 + data[i + 1] * 2654435761
-            + data[i + 2] * 40503 + data[i + 3]) & 0xFFFF
+def _tz_bytes(diff: np.ndarray) -> np.ndarray:
+    """Trailing zero *bytes* of each nonzero ``uint64`` (64 where zero).
+
+    Isolates the lowest set bit and takes its float64 ``log2`` — exact,
+    because the isolated value is a power of two.
+    """
+    low = diff & (np.uint64(0) - diff)
+    tz = np.full(diff.shape, 64, dtype=np.int64)
+    nz = diff != 0
+    tz[nz] = np.log2(low[nz].astype(np.float64)).astype(np.int64)
+    return tz >> 3
 
 
-def encode(data: bytes) -> bytes:
-    """Compress ``data``; output is ``<u64 original size><bit tokens>``."""
+def _find_matches(data: bytes, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Best match (length, offset) at every position; length 0 when none."""
+    best_len = np.zeros(n, dtype=np.int64)
+    best_off = np.zeros(n, dtype=np.int64)
+    npos = n - (MIN_MATCH - 1)
+    if npos <= 0:
+        return best_len, best_off
+    a = np.frombuffer(data, dtype=np.uint8)[:n].astype(np.uint32)
+    h = (
+        a[: n - 3] * np.uint32(506832829)
+        + a[1 : n - 2] * np.uint32(2654435761)
+        + a[2 : n - 1] * np.uint32(40503)
+        + a[3:n]
+    ) & np.uint32(0xFFFF)
+
+    # The 8-byte little-endian word starting at every byte offset, as one
+    # gatherable table (padding keeps reads past the end in range; the
+    # per-position length cap keeps the padding out of any match).
+    padded = np.frombuffer(
+        data[:n] + b"\x00" * (MAX_MATCH + 8), dtype=np.uint8
+    ).astype(np.uint64)
+    u64_at = np.zeros(n + MAX_MATCH, dtype=np.uint64)
+    for r in range(8):
+        u64_at |= padded[r : r + u64_at.size] << np.uint64(8 * r)
+
+    # Stable sort groups equal hashes in position order; the entry k slots
+    # earlier inside a group is the k-th most recent predecessor.  Probe
+    # each depth with an 8-byte proxy match; ties on the proxy keep the
+    # most recent predecessor (smaller k, probed first).
+    order = np.argsort(h, kind="stable").astype(np.int64)
+    ho = h[order]
+    proxy = np.zeros(n, dtype=np.int64)
+    src = np.zeros(n, dtype=np.int64)
+    for k in range(1, _CHAIN_DEPTH + 1):
+        if k >= order.size:
+            break
+        ii = order[k:]
+        jj = order[:-k]
+        valid = (ho[k:] == ho[:-k]) & (ii - jj <= WINDOW)
+        ii = ii[valid]
+        jj = jj[valid]
+        if not ii.size:
+            continue
+        diff = u64_at[ii] ^ u64_at[jj]
+        plen = _tz_bytes(diff)
+        # A true 4-byte match means the low 4 bytes agree (the 16-bit
+        # hash has collisions); shorter agreement is no match at all.
+        plen[plen < MIN_MATCH] = 0
+        better = plen > proxy[ii]
+        upd = ii[better]
+        proxy[upd] = plen[better]
+        src[upd] = jj[better]
+
+    # Exact lengths: positions whose proxy maxed out the 8-byte probe are
+    # extended in bulk, 8 bytes per round, only while still equal — one
+    # winning candidate per position instead of one per chain depth.
+    maxlen = np.minimum(MAX_MATCH, n - np.arange(n, dtype=np.int64))
+    has = proxy >= MIN_MATCH
+    best_len[has] = np.minimum(proxy[has], maxlen[has])
+    best_off[has] = np.arange(n, dtype=np.int64)[has] - src[has]
+    act = np.flatnonzero(has & (proxy >= 8) & (best_len < maxlen))
+    depth = 8
+    while act.size and depth < MAX_MATCH:
+        diff = u64_at[act + depth] ^ u64_at[src[act] + depth]
+        grow = np.minimum(best_len[act] + _tz_bytes(diff), maxlen[act])
+        best_len[act] = grow
+        act = act[(diff == 0) & (grow < maxlen[act])]
+        depth += 8
+    return best_len, best_off
+
+
+def encode(data: bytes, max_bytes: int | None = None) -> bytes | None:
+    """Compress ``data``; output is ``<u64 size><u64 nbits><bit tokens>``.
+
+    ``max_bytes`` is the ``auto`` selector's early-abort budget: the
+    token census prices the exact output before any bits are packed, so
+    a losing candidate costs match finding but never packing.
+    """
     n = len(data)
-    writer = BitWriter()
-    head: dict[int, list[int]] = {}
-    i = 0
-    while i < n:
-        best_len = 0
-        best_off = 0
-        if i + MIN_MATCH <= n:
-            h = _hash4(data, i)
-            chain = head.get(h)
-            if chain:
-                lo = i - WINDOW
-                for j in reversed(chain[-_CHAIN_LIMIT:]):
-                    if j < lo:
-                        break
-                    # Extend the match.
-                    length = 0
-                    max_len = min(MAX_MATCH, n - i)
-                    while length < max_len and data[j + length] == data[i + length]:
-                        length += 1
-                    if length > best_len:
-                        best_len = length
-                        best_off = i - j
-                        if length >= MAX_MATCH:
-                            break
-            head.setdefault(h, []).append(i)
-        if best_len >= MIN_MATCH:
-            writer.write_bit(1)
-            writer.write_uint(best_off - 1, 16)
-            writer.write_uint(best_len - MIN_MATCH, 8)
-            # Insert hash entries for skipped positions (sparsely, every
-            # other position, to bound encoder time).
-            end = i + best_len
-            k = i + 1
-            while k < end and k + MIN_MATCH <= n:
-                head.setdefault(_hash4(data, k), []).append(k)
-                k += 2
-            i = end
+    if n == 0:
+        return struct.pack("<QQ", 0, 0)
+    best_len, best_off = _find_matches(data, n)
+
+    # Greedy parse, one Python step per literal run or match: precompute
+    # each position's next matchable position so literal runs are jumped,
+    # not walked.
+    has_match = best_len >= MIN_MATCH
+    next_match = np.full(n + 1, n, dtype=np.int64)
+    idx = np.flatnonzero(has_match)
+    next_match[idx] = idx
+    next_match = np.minimum.accumulate(next_match[::-1])[::-1]
+
+    bl = best_len.tolist()
+    nm = next_match.tolist()
+    match_pos: list[int] = []
+    lit_runs: list[tuple[int, int]] = []  # [start, stop) of literal bytes
+    pos = 0
+    n_lit = 0
+    while pos < n:
+        if bl[pos] >= MIN_MATCH:
+            match_pos.append(pos)
+            pos += bl[pos]
         else:
-            writer.write_bit(0)
-            writer.write_uint(data[i], 8)
-            i += 1
-    payload = writer.getvalue()
-    return struct.pack("<QQ", n, writer.nbits) + payload
+            # No match here, so the next match position is strictly ahead;
+            # everything up to it is one literal run.
+            stop = nm[pos]
+            lit_runs.append((pos, stop))
+            n_lit += stop - pos
+            pos = stop
+
+    nbits = 9 * n_lit + 25 * len(match_pos)
+    if max_bytes is not None and 16 + ((nbits + 7) >> 3) > max_bytes:
+        return None
+
+    mp = np.array(match_pos, dtype=np.int64)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    if lit_runs:
+        lit_pos = np.concatenate([np.arange(s, e, dtype=np.int64) for s, e in lit_runs])
+    else:
+        lit_pos = np.empty(0, dtype=np.int64)
+    # One token per literal byte (flag 0 + byte) and per match
+    # (flag 1 + 16-bit offset-1 + 8-bit length-4), ordered by position.
+    tok_pos = np.concatenate([lit_pos, mp])
+    tok_val = np.concatenate(
+        [
+            arr[lit_pos].astype(np.uint64),
+            (np.uint64(1 << 24) | (
+                (best_off[mp] - 1).astype(np.uint64) << np.uint64(8)
+            ) | (best_len[mp] - MIN_MATCH).astype(np.uint64))
+            if mp.size
+            else np.empty(0, dtype=np.uint64),
+        ]
+    )
+    tok_width = np.concatenate(
+        [
+            np.full(lit_pos.size, 9, dtype=np.int64),
+            np.full(mp.size, 25, dtype=np.int64),
+        ]
+    )
+    by_pos = np.argsort(tok_pos, kind="stable")
+    payload, packed_bits = bitpack.pack_msb(tok_val[by_pos], tok_width[by_pos])
+    assert packed_bits == nbits
+    return struct.pack("<QQ", n, nbits) + payload
 
 
 def decode(data: bytes) -> bytes:
-    """Inverse of :func:`encode`."""
+    """Inverse of :func:`encode` (and of the original per-byte encoder)."""
     if len(data) < 16:
         raise StreamFormatError("truncated LZ77 stream")
     n, nbits = struct.unpack("<QQ", data[:16])
-    # The encoder never sees more than 256 KiB (the backend's size gate);
-    # a declared size far beyond that is a corrupt length field, and the
-    # byte-wise reconstruction loop must not chase it.
-    if n > 1 << 20:
+    # The encoder never sees more than the backend's 1 MiB size gate; a
+    # declared size far beyond that is a corrupt length field, and the
+    # reconstruction loop must not chase it.
+    if n > _MAX_DECODE_BYTES:
         raise StreamFormatError(
             f"LZ77 stream declares {n} bytes, beyond the decode cap"
         )
-    reader = BitReader(data[16:], nbits=min(nbits, (len(data) - 16) * 8))
-    out = bytearray()
-    while len(out) < n:
-        if reader.remaining < 1:
+    if n == 0:
+        return b""
+    body = data[16:]
+    avail = min(nbits, len(body) * 8)
+
+    # Pass 1 — token boundaries.  The flag bit alone fixes each token's
+    # width, so the walk is a few list reads per token; the loop must
+    # track match lengths as it goes to know when the output is full.
+    windows = bitpack.byte_windows(body)
+    wlist = windows.tolist()
+    flag_list = np.unpackbits(np.frombuffer(body, dtype=np.uint8)).tolist()
+    tok_pos: list[int] = []
+    tok_flag: list[bool] = []
+    produced = 0
+    pos = 0
+    while produced < n:
+        if pos >= avail:
             raise StreamFormatError("LZ77 stream exhausted early")
-        if reader.read_bit():
-            off = reader.read_uint(16) + 1
-            length = reader.read_uint(8) + MIN_MATCH
-            if off > len(out):
-                raise StreamFormatError("LZ77 match offset beyond output")
-            start = len(out) - off
-            for k in range(length):  # overlapping copies must be byte-wise
-                out.append(out[start + k])
+        flag = flag_list[pos]
+        width = 25 if flag else 9
+        if pos + width > avail:
+            raise StreamFormatError("LZ77 stream exhausted early")
+        tok_pos.append(pos)
+        tok_flag.append(bool(flag))
+        if flag:
+            bp = pos + 17  # 8-bit length field after flag + 16-bit offset
+            produced += ((wlist[bp >> 3] >> (24 - (bp & 7))) & 0xFF) + MIN_MATCH
         else:
-            out.append(reader.read_uint(8))
-    if len(out) != n:
+            produced += 1
+        pos += width
+
+    tok_pos_a = np.asarray(tok_pos, dtype=np.int64)
+    tok_flag_a = np.asarray(tok_flag, dtype=bool)
+
+    lit_tok = tok_pos_a[~tok_flag_a]
+    mat_tok = tok_pos_a[tok_flag_a]
+    lit_bytes = bitpack.extract_msb(windows, lit_tok + 1, 8).astype(np.uint8)
+    offsets = bitpack.extract_msb(windows, mat_tok + 1, 16).astype(np.int64) + 1
+    lengths = bitpack.extract_msb(windows, mat_tok + 17, 8).astype(np.int64) + MIN_MATCH
+
+    sizes = np.where(tok_flag_a, 0, 1)
+    sizes[tok_flag_a] = lengths
+    ends = np.cumsum(sizes)
+    if int(ends[-1]) != n:
         raise StreamFormatError("LZ77 stream decodes to wrong size")
+
+    # Pass 2 — reconstruction, one Python step per literal run or match.
+    out = bytearray(n)
+    lit_all = lit_bytes.tobytes()
+    cursor = 0
+    lit_cursor = 0
+    it_off = offsets.tolist()
+    it_len = lengths.tolist()
+    mi = 0
+    flag_runs = tok_flag_a
+    i = 0
+    ntok = tok_pos_a.size
+    while i < ntok:
+        if not flag_runs[i]:
+            j = i
+            while j < ntok and not flag_runs[j]:
+                j += 1
+            run = j - i
+            out[cursor : cursor + run] = lit_all[lit_cursor : lit_cursor + run]
+            cursor += run
+            lit_cursor += run
+            i = j
+        else:
+            off = it_off[mi]
+            length = it_len[mi]
+            mi += 1
+            if off > cursor:
+                raise StreamFormatError("LZ77 match offset beyond output")
+            start = cursor - off
+            if off >= length:
+                out[cursor : cursor + length] = out[start : start + length]
+            else:
+                piece = bytes(out[start:cursor])
+                reps = -(-length // off)
+                out[cursor : cursor + length] = (piece * reps)[:length]
+            cursor += length
+            i += 1
     return bytes(out)

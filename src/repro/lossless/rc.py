@@ -1,0 +1,245 @@
+"""Block-interleaved static range coder (byte-wise rANS) — stream tag 6.
+
+This replaces the per-bit adaptive arithmetic coder (:mod:`.arith`, tag
+5, now decode-only legacy) on the encode side.  The asymmetric numeral
+system formulation keeps the whole coder in integer adds/shifts and —
+crucially for this pure-numpy codebase — interleaves ``L`` independent
+coder states so renormalization runs over numpy lanes: the Python-level
+loop executes once per *block* of ``L`` symbols, not once per bit.
+
+Model: static order-0 byte histogram, normalized to 12-bit frequencies
+(sum exactly ``4096``, every occurring byte >= 1).  Compression on SPERR
+streams is within ~1% of the adaptive coder's; the static table is what
+makes the lanes independent and the decode table a single 4096-entry
+gather.
+
+State invariant (standard rANS with 16-bit renormalization): each lane
+state ``x`` stays in ``[2^16, 2^32)``.  Encoding runs the symbols
+backwards, emitting at most one ``u16`` per lane per step; the finished
+word stream is reversed so the decoder — which runs forwards — reads it
+with a single monotonically advancing pointer.  Within one step the
+renorming lanes are emitted in ascending lane order, so after the global
+reversal the decoder sees them descending; :func:`decode` reverses each
+step's slice to match.
+
+Payload layout (after the backend's one-byte method tag)::
+
+    u8            format version (=1)
+    u64           n, original byte count          [n == 0: payload ends]
+    384 bytes     256 x 12-bit frequencies, MSB-first packed
+    L x u32       final encoder states (= initial decoder states), LE
+    u32           word count W
+    W x u16       renormalization words, LE, in decode order
+
+``L`` is not stored: it is a pure function of ``n`` (:func:`_lanes`),
+chosen so the block loop runs at most ~:data:`_STEP_TARGET` iterations.
+That both keeps the header small and bounds decoder work for any forged
+``n`` the cap below admits.  Decoding a valid stream must end with every
+lane back at the initial state ``2^16`` and the word stream fully
+consumed — a free integrity check that catches most corruption even
+though the format carries no checksum of its own.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import StreamFormatError
+from . import bitpack
+
+__all__ = ["encode", "decode"]
+
+_VERSION = 1
+_PROB_BITS = 12
+_PROB_SCALE = 1 << _PROB_BITS
+_RANS_L = 1 << 16  # lower bound of the state interval [2^16, 2^32)
+_FREQ_TABLE_BYTES = 256 * _PROB_BITS // 8
+
+#: Target number of Python-level block iterations per encode/decode.
+_STEP_TARGET = 512
+#: Reject declared sizes past this before allocating (mirrors the other
+#: decoders' caps; far beyond any section the pipeline produces).
+_MAX_DECODE_BYTES = 1 << 27
+
+
+def _lanes(n: int) -> int:
+    """Interleaving width for ``n`` symbols (power of two, >= 1)."""
+    need = -(-n // _STEP_TARGET)
+    lanes = 1
+    while lanes < need:
+        lanes <<= 1
+    return lanes
+
+
+def _normalize_freqs(counts: np.ndarray) -> np.ndarray:
+    """Scale a byte histogram to 12-bit frequencies summing to 4096.
+
+    Every byte that occurs keeps frequency >= 1; the rounding residue is
+    settled against the largest entries, which costs the least code
+    length.  Deterministic, so encoder and tests agree bit-for-bit.
+    """
+    total = int(counts.sum())
+    scaled = counts * _PROB_SCALE // total
+    scaled[(counts > 0) & (scaled == 0)] = 1
+    diff = _PROB_SCALE - int(scaled.sum())
+    if diff > 0:
+        scaled[int(np.argmax(scaled))] += diff
+    while diff < 0:
+        # Shrink the largest entry, never below 1.  Each pass settles as
+        # much residue as that entry allows, so this terminates in at
+        # most 256 iterations (the residue cannot exceed the number of
+        # occurring symbols).
+        i = int(np.argmax(scaled))
+        take = min(int(scaled[i]) - 1, -diff)
+        scaled[i] -= take
+        diff += take
+    if int(scaled.max()) == _PROB_SCALE:
+        # A single occurring byte would need frequency 4096, one past the
+        # 12-bit field; donate one count to a neighbor (≈0.0004 bits per
+        # byte of rate, and the decoder needs no special case).
+        i = int(np.argmax(scaled))
+        scaled[i] -= 1
+        scaled[(i + 1) % 256] += 1
+    return scaled
+
+
+def encode(data: bytes, max_bytes: int | None = None) -> bytes | None:
+    """Range-code ``data``; returns the payload, or None past ``max_bytes``.
+
+    ``max_bytes`` is the early-abort budget for the ``auto`` selector:
+    once the emitted words alone guarantee a bigger payload than the
+    current best candidate, encoding stops.
+    """
+    n = len(data)
+    head = struct.pack("<BQ", _VERSION, n)
+    if n == 0:
+        return head
+    arr = np.frombuffer(data, dtype=np.uint8)
+    freqs = _normalize_freqs(np.bincount(arr, minlength=256).astype(np.int64))
+    freq_u = freqs.astype(np.uint64)
+    cum_u = np.concatenate(([0], np.cumsum(freqs)[:-1])).astype(np.uint64)
+
+    lanes = _lanes(n)
+    steps = -(-n // lanes)
+    rem = n - (steps - 1) * lanes  # lanes active in the final block
+    sym = np.zeros(steps * lanes, dtype=np.uint8)
+    sym[:n] = arr
+    sym = sym.reshape(steps, lanes)
+
+    fixed_bytes = len(head) + _FREQ_TABLE_BYTES + 4 * lanes + 4
+
+    x = np.full(lanes, _RANS_L, dtype=np.uint64)
+    chunks: list[np.ndarray] = []
+    emitted = 0
+    # Encode blocks in reverse; the final (partial) block goes first so
+    # the forward-running decoder meets it last.
+    for t in range(steps - 1, -1, -1):
+        active = lanes if t < steps - 1 else rem
+        s = sym[t, :active]
+        f = freq_u[s]
+        c = cum_u[s]
+        xa = x[:active]
+        renorm = xa >= (f << np.uint64(32 - _PROB_BITS))
+        if renorm.any():
+            out = (xa[renorm] & np.uint64(0xFFFF)).astype(np.uint16)
+            chunks.append(out)
+            emitted += out.size
+            xa = np.where(renorm, xa >> np.uint64(16), xa)
+        x[:active] = ((xa // f) << np.uint64(_PROB_BITS)) + (xa % f) + c
+        if max_bytes is not None and fixed_bytes + 2 * emitted > max_bytes:
+            return None
+
+    words = np.concatenate(chunks)[::-1] if chunks else np.empty(0, dtype=np.uint16)
+    if max_bytes is not None and fixed_bytes + 2 * words.size > max_bytes:
+        return None
+    table, table_bits = bitpack.pack_msb(
+        freqs.astype(np.uint64), np.full(256, _PROB_BITS, dtype=np.int64)
+    )
+    assert table_bits == 8 * _FREQ_TABLE_BYTES
+    return b"".join(
+        (
+            head,
+            table,
+            x.astype("<u4").tobytes(),
+            struct.pack("<I", words.size),
+            words.astype("<u2").tobytes(),
+        )
+    )
+
+
+def decode(payload: bytes) -> bytes:
+    """Inverse of :func:`encode`; raises ``StreamFormatError`` on damage."""
+    if len(payload) < 9:
+        raise StreamFormatError("truncated range-coder header")
+    version, n = struct.unpack_from("<BQ", payload, 0)
+    if version != _VERSION:
+        raise StreamFormatError(f"unknown range-coder version {version}")
+    if n == 0:
+        return b""
+    if n > _MAX_DECODE_BYTES:
+        raise StreamFormatError(
+            f"range-coder stream declares {n} bytes, beyond the decode cap"
+        )
+    lanes = _lanes(n)
+    steps = -(-n // lanes)
+    rem = n - (steps - 1) * lanes
+    pos = 9
+    need = _FREQ_TABLE_BYTES + 4 * lanes + 4
+    if len(payload) < pos + need:
+        raise StreamFormatError("truncated range-coder section")
+    table = bitpack.byte_windows(payload[pos : pos + _FREQ_TABLE_BYTES])
+    freqs = bitpack.extract_msb(
+        table, np.arange(256, dtype=np.int64) * _PROB_BITS, _PROB_BITS
+    ).astype(np.int64)
+    pos += _FREQ_TABLE_BYTES
+    if int(freqs.sum()) != _PROB_SCALE:
+        raise StreamFormatError(
+            "range-coder frequency table does not sum to 4096"
+        )
+    x = np.frombuffer(payload, dtype="<u4", count=lanes, offset=pos).astype(np.uint64)
+    pos += 4 * lanes
+    (n_words,) = struct.unpack_from("<I", payload, pos)
+    pos += 4
+    if 2 * n_words > len(payload) - pos:
+        raise StreamFormatError(
+            f"range-coder stream declares {n_words} words beyond the payload"
+        )
+    words = np.frombuffer(payload, dtype="<u2", count=n_words, offset=pos).astype(
+        np.uint64
+    )
+
+    if (x < np.uint64(_RANS_L)).any():
+        # Valid lane states live in [2^16, 2^32); anything below can only
+        # come from corruption and would desync the renormalization.
+        raise StreamFormatError("range-coder lane state below the interval")
+    freq_u = freqs.astype(np.uint64)
+    cum = np.concatenate(([0], np.cumsum(freqs)[:-1]))
+    cum_u = cum.astype(np.uint64)
+    cum2sym = np.repeat(np.arange(256, dtype=np.uint8), freqs)
+
+    out = np.empty((steps, lanes), dtype=np.uint8)
+    ptr = 0
+    for t in range(steps):
+        active = lanes if t < steps - 1 else rem
+        xa = x[:active]
+        slot = xa & np.uint64(_PROB_SCALE - 1)
+        s = cum2sym[slot]
+        out[t, :active] = s
+        xa = freq_u[s] * (xa >> np.uint64(_PROB_BITS)) + slot - cum_u[s]
+        renorm = np.flatnonzero(xa < np.uint64(_RANS_L))
+        k = renorm.size
+        if k:
+            if ptr + k > words.size:
+                raise StreamFormatError("range-coder word stream exhausted")
+            # The encoder emitted this step's words in ascending lane
+            # order; the global reversal flipped them, so read descending.
+            xa[renorm] = (xa[renorm] << np.uint64(16)) | words[ptr : ptr + k][::-1]
+            ptr += k
+        x[:active] = xa
+    if ptr != words.size or not (x == np.uint64(_RANS_L)).all():
+        # A clean decode consumes every word and parks every lane back at
+        # the initial state; anything else means the stream was damaged.
+        raise StreamFormatError("range-coder stream fails the final-state check")
+    return out.reshape(-1)[:n].tobytes()

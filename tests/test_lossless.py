@@ -1,4 +1,4 @@
-"""Lossless substrate: Huffman, RLE, LZ77, and the backend selector."""
+"""Lossless substrate: Huffman, RLE, LZ77, rANS, and the backend selector."""
 
 from __future__ import annotations
 
@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro import lossless
 from repro.errors import InvalidArgumentError, StreamFormatError
-from repro.lossless import huffman, lz77, rle
+from repro.lossless import bitpack, huffman, lz77, rc, rle
 
 
 class TestHuffman:
@@ -130,8 +130,103 @@ class TestLz77:
             lz77.decode(b"\x00" * 8)
 
 
+class TestBitpack:
+    def test_pack_extract_round_trip(self, rng):
+        widths = rng.integers(1, 26, size=500).astype(np.int64)
+        values = rng.integers(0, 1 << 25, size=500).astype(np.uint64) & (
+            (np.uint64(1) << widths.astype(np.uint64)) - np.uint64(1)
+        )
+        packed, nbits = bitpack.pack_msb(values, widths)
+        assert nbits == int(widths.sum())
+        assert len(packed) == (nbits + 7) >> 3
+        windows = bitpack.byte_windows(packed)
+        offsets = np.concatenate(([0], np.cumsum(widths)[:-1]))
+        out = bitpack.extract_msb(windows, offsets, widths)
+        np.testing.assert_array_equal(out, values)
+
+    def test_pack_matches_manual_bitstring(self):
+        values = np.array([0b101, 0b1, 0b11010], dtype=np.uint64)
+        lengths = np.array([3, 1, 5], dtype=np.int64)
+        packed, nbits = bitpack.pack_msb(values, lengths)
+        assert nbits == 9
+        assert packed == bytes([0b10111101, 0b00000000])
+
+    def test_empty_pack(self):
+        packed, nbits = bitpack.pack_msb(
+            np.array([], dtype=np.uint64), np.array([], dtype=np.int64)
+        )
+        assert packed == b"" and nbits == 0
+
+    def test_rejects_oversized_width(self):
+        with pytest.raises(InvalidArgumentError):
+            bitpack.pack_msb(
+                np.array([1], dtype=np.uint64), np.array([33], dtype=np.int64)
+            )
+
+
+class TestRangeCoder:
+    def test_round_trip_skewed(self, rng):
+        data = np.minimum(rng.geometric(0.3, size=20000) - 1, 255)
+        data = data.astype(np.uint8).tobytes()
+        payload = rc.encode(data)
+        assert rc.decode(payload) == data
+
+    def test_round_trip_uniform(self, rng):
+        data = bytes(rng.integers(0, 256, size=5000).astype(np.uint8))
+        assert rc.decode(rc.encode(data)) == data
+
+    def test_empty_and_single_byte(self):
+        assert rc.decode(rc.encode(b"")) == b""
+        assert rc.decode(rc.encode(b"a")) == b"a"
+        assert rc.decode(rc.encode(b"a" * 10000)) == b"a" * 10000
+
+    def test_encode_is_deterministic(self, rng):
+        data = bytes(rng.integers(0, 16, size=4096).astype(np.uint8))
+        assert rc.encode(data) == rc.encode(data)
+
+    def test_budget_abort_returns_none(self, rng):
+        data = bytes(rng.integers(0, 256, size=8192).astype(np.uint8))
+        assert rc.encode(data, max_bytes=100) is None
+
+    def test_near_entropy_on_skewed_data(self, rng):
+        """The static coder must land close to the order-0 entropy bound."""
+        data = np.minimum(rng.geometric(0.25, size=1 << 16) - 1, 255).astype(np.uint8)
+        counts = np.bincount(data, minlength=256)
+        p = counts[counts > 0] / data.size
+        entropy_bytes = float(-(p * np.log2(p)).sum()) * data.size / 8
+        payload = rc.encode(data.tobytes())
+        overhead = 9 + 384 + 4 * 2 + 4  # header + freq table + states + count
+        # 12-bit frequency quantization costs a few percent on a long
+        # geometric tail; 5% headroom keeps the bound meaningful.
+        assert len(payload) <= entropy_bytes * 1.05 + overhead + 64
+
+    def test_truncated_rejected(self, rng):
+        data = bytes(rng.integers(0, 8, size=4096).astype(np.uint8))
+        payload = rc.encode(data)
+        for cut in (0, 5, 9, 200, len(payload) - 1):
+            with pytest.raises(StreamFormatError):
+                rc.decode(payload[:cut])
+
+    def test_bit_flip_detected_or_garbage_sized(self, rng):
+        """Final-state and word-consumption checks make damage loud: a
+        flipped byte either raises or still yields exactly n bytes."""
+        data = bytes(rng.integers(0, 8, size=4096).astype(np.uint8))
+        payload = bytearray(rc.encode(data))
+        for pos in (10, 400, len(payload) // 2, len(payload) - 3):
+            bad = bytearray(payload)
+            bad[pos] ^= 0x40
+            try:
+                out = rc.decode(bytes(bad))
+                assert len(out) == len(data)
+            except StreamFormatError:
+                pass
+
+
 class TestBackend:
-    @pytest.mark.parametrize("method", ["stored", "rle", "huffman", "rle+huffman", "lz77", "auto"])
+    @pytest.mark.parametrize(
+        "method",
+        ["stored", "rle", "huffman", "rle+huffman", "lz77", "ac", "rc", "auto"],
+    )
     def test_round_trip_all_methods(self, method, rng):
         data = bytes(rng.integers(0, 8, size=3000).astype(np.uint8))
         assert lossless.decompress(lossless.compress(data, method=method)) == data

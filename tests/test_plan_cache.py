@@ -93,7 +93,12 @@ class TestSharedPlans:
     def test_cache_stats_shape(self):
         wavelet_plan((16, 16))
         stats = cache_stats()
-        assert set(stats) == {"wavelet_plans", "speck_geometries", "zfp_scan_orders"}
+        assert set(stats) == {
+            "wavelet_plans",
+            "speck_geometries",
+            "zfp_scan_orders",
+            "huffman_tables",
+        }
         assert stats["wavelet_plans"]["misses"] == 1
 
 

@@ -220,6 +220,52 @@ class TestFaultInjectionMatrix:
         assert a.payload == b.payload and a.applied == b.applied
 
 
+# --- lossless-layer fault injection -----------------------------------------
+
+#: Every lossless stream tag the backend can emit (or still decode),
+#: fuzzed directly against the tag-dispatch decoder rather than through
+#: the container, so corruption always lands inside the codec payloads.
+_LOSSLESS_METHODS = ("stored", "rle", "huffman", "rle+huffman", "lz77", "ac", "rc")
+
+
+@pytest.fixture(scope="module")
+def lossless_payloads(field):
+    """One clean payload per lossless method over SPECK-like bytes."""
+    from repro import lossless
+
+    raw = field.astype(np.float32).tobytes()[: 1 << 14]
+    return {m: lossless.compress(raw, method=m) for m in _LOSSLESS_METHODS}
+
+
+class TestLosslessFaultInjection:
+    """The vectorized decoders (Huffman window tables, rANS lanes, LZ77
+    batch unpack) must uphold the same contract as the container layer:
+    corrupted payloads decode or raise ``ReproError`` — never hang, crash,
+    or allocate unboundedly."""
+
+    @pytest.mark.parametrize("method", _LOSSLESS_METHODS)
+    def test_method_survives_corruption(self, method, lossless_payloads):
+        from repro import lossless
+
+        report = fuzz_decoder(
+            lossless.decompress,
+            lossless_payloads[method],
+            n=100,
+            seed=zlib.crc32(f"lossless/{method}".encode()) % 10_000,
+            time_limit=20.0,
+        )
+        assert report.ok, f"lossless/{method}: {report.summary()}"
+
+    @pytest.mark.parametrize("method", _LOSSLESS_METHODS)
+    def test_method_survives_composed_faults(self, method, lossless_payloads):
+        from repro import lossless
+
+        report = fuzz_decoder(
+            lossless.decompress, lossless_payloads[method], n=100, n_ops=2, seed=31
+        )
+        assert report.ok, f"lossless/{method} composed: {report.summary()}"
+
+
 # --- container v2 integrity and salvage ------------------------------------
 
 
