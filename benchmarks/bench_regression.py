@@ -273,6 +273,79 @@ def measure_lossless_micro(repeats: int = 3) -> dict:
     return out
 
 
+#: Store micro-bench window: offset by 8 so the window crosses a chunk
+#: boundary on every axis of the 64^3 / 32^3-chunk headline layout.
+_STORE_WINDOW_OFFSET = 8
+
+
+def measure_store_micro(repeats: int = 3) -> dict:
+    """Store window-read micro-benchmark: cold read, warm cached re-read.
+
+    Builds a multi-chunk store of the 64^3 headline field in a temporary
+    directory, then times a cold window read (decoded-chunk cache
+    cleared) against an immediately repeated warm read of the same
+    window (served from the LRU).  Also checks the two equivalence
+    properties the gate relies on: the windowed read matches slicing the
+    full container decompression bit-exactly, and a full store scan
+    matches container decompression.
+    """
+    import shutil
+    import tempfile
+
+    from repro import compress, decompress
+    from repro.store import open_store, write_store
+
+    data = _field(tuple(CONFIG["shape_multichunk"]))
+    mode = _pwe(data)
+    chunk = CONFIG["chunk"]
+    tmp = tempfile.mkdtemp(prefix="repro-store-bench-")
+    try:
+        write_store(tmp, data, mode, chunk_shape=chunk)
+        arr = open_store(tmp)
+        window = tuple(
+            slice(_STORE_WINDOW_OFFSET, _STORE_WINDOW_OFFSET + chunk)
+            for _ in data.shape
+        )
+        full = decompress(compress(data, mode, chunk_shape=chunk).payload)
+        # Equivalence checks run first; they double as the warm-up pass
+        # (plan caches, lazy numpy state) so the cold timings below
+        # measure chunk decoding, not first-touch initialisation.
+        full_ok = bool(np.array_equal(np.asarray(arr.read()), full))
+        window_ok = bool(
+            np.array_equal(np.asarray(arr.read_window(window)), full[window])
+        )
+        cold_times, warm_times = [], []
+        for _ in range(max(1, repeats)):
+            arr.cache.clear()
+            t0 = time.perf_counter()
+            arr.read_window(window)
+            t1 = time.perf_counter()
+            arr.read_window(window)
+            t2 = time.perf_counter()
+            cold_times.append(t1 - t0)
+            warm_times.append(t2 - t1)
+        cold = statistics.median(cold_times)
+        warm = statistics.median(warm_times)
+        entry = {
+            "cold_window_s": cold,
+            "warm_window_s": warm,
+            "warm_speedup": round(cold / warm, 2) if warm > 0 else float("inf"),
+            "window_matches_full_decode": window_ok,
+            "full_scan_matches_container": full_ok,
+            "payload_bytes": arr.index.payload_bytes,
+            "repeats": repeats,
+        }
+        print(
+            f"  store/window      cold {cold * 1e3:8.1f} ms   "
+            f"warm {warm * 1e3:8.3f} ms   "
+            f"({entry['warm_speedup']:.0f}x, window match: {window_ok}, "
+            f"full match: {full_ok})"
+        )
+        return entry
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def _plan_cache_stats() -> dict:
     """Plan-cache hit/miss counters, when the cache layer is available."""
     try:
@@ -312,6 +385,7 @@ def run(argv: list[str] | None = None) -> int:
     print(f"bench_regression: {repeats} repeat(s) per case")
     timings = measure(repeats)
     micro = measure_lossless_micro(repeats)
+    store_micro = measure_store_micro(repeats)
 
     doc = {}
     if BENCH_FILE.exists():
@@ -336,6 +410,7 @@ def run(argv: list[str] | None = None) -> int:
             },
             "current": block,
             "lossless_micro": micro,
+            "store_micro": store_micro,
             "plan_cache": _plan_cache_stats(),
         }
     )

@@ -244,6 +244,48 @@ def _merge_best_micro(a: dict, b: dict) -> dict:
     return out
 
 
+#: A warm (cached) window re-read must be at least this much faster than
+#: the cold read that decoded the same chunks — the acceptance floor for
+#: the store's decoded-chunk LRU actually short-circuiting the pipeline.
+STORE_MIN_WARM_SPEEDUP = 5.0
+
+
+def check_store_micro(*, quick: bool = False) -> list[str]:
+    """Gate the store's windowed-read micro-benchmark.
+
+    Fails when the windowed read stops matching full-decode slicing
+    bit-exactly, when a full store scan diverges from container
+    decompression, or when the warm cached re-read is less than
+    :data:`STORE_MIN_WARM_SPEEDUP` times faster than the cold read.
+    The speedup check re-measures once before failing so a scheduler
+    hiccup does not read as a cache regression.
+    """
+    from bench_regression import measure_store_micro
+
+    repeats = 1 if quick else 3
+    entry = measure_store_micro(repeats=repeats)
+    problems = []
+    if not entry["window_matches_full_decode"]:
+        problems.append(
+            "store: windowed read no longer matches full-decode slicing"
+        )
+    if not entry["full_scan_matches_container"]:
+        problems.append(
+            "store: full store scan no longer matches container decompression"
+        )
+    if entry["warm_speedup"] < STORE_MIN_WARM_SPEEDUP:
+        print("store warm-read gate tripped - re-measuring once")
+        entry = measure_store_micro(repeats=repeats)
+        if entry["warm_speedup"] < STORE_MIN_WARM_SPEEDUP:
+            problems.append(
+                f"store: warm cached re-read only {entry['warm_speedup']:.1f}x "
+                f"faster than cold (floor {STORE_MIN_WARM_SPEEDUP:.0f}x; "
+                f"cold {entry['cold_window_s'] * 1e3:.1f} ms, "
+                f"warm {entry['warm_window_s'] * 1e3:.3f} ms)"
+            )
+    return problems
+
+
 def run_gate(*, quick: bool = False, threshold: float = DEFAULT_THRESHOLD) -> list[str]:
     """Measure the current tree and gate it against BENCH_speed.json.
 
@@ -291,6 +333,7 @@ def run_gate(*, quick: bool = False, threshold: float = DEFAULT_THRESHOLD) -> li
 
     problems += check_trace_consistency(timings)
     problems += check_container_overhead()
+    problems += check_store_micro(quick=quick)
     return problems
 
 

@@ -97,6 +97,75 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("index", type=int, help="frame index (negative counts from the end)")
     ex.add_argument("output", help="output array path (.npy)")
 
+    st = sub.add_parser(
+        "store", help="build and query a random-access compressed-array store"
+    )
+    st_sub = st.add_subparsers(dest="store_command", required=True)
+
+    sb = st_sub.add_parser(
+        "build", help="compress .npy arrays into a sharded store directory"
+    )
+    sb.add_argument("inputs", nargs="+", help="input arrays (.npy), one per frame")
+    sb.add_argument("store", help="output store directory")
+    sb_bound = sb.add_mutually_exclusive_group(required=True)
+    sb_bound.add_argument("--pwe", type=float, help="absolute point-wise error tolerance")
+    sb_bound.add_argument(
+        "--idx", type=int, help="tolerance label: t = Range / 2**idx (first frame)"
+    )
+    sb_bound.add_argument("--bpp", type=float, help="target bitrate (bits per point)")
+    sb.add_argument("--chunk", type=int, default=None, help="cubic chunk extent")
+    sb.add_argument(
+        "--wavelet", default="cdf97", choices=("cdf97", "cdf53", "haar"),
+        help="wavelet filter (default cdf97)",
+    )
+    sb.add_argument(
+        "--shard-size", type=int, default=None,
+        help="shard rotation threshold in bytes (default 4 MiB)",
+    )
+    sb.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel workers (threads) for chunked compression",
+    )
+
+    sg = st_sub.add_parser(
+        "get", help="decode a window of a store into a .npy array"
+    )
+    sg.add_argument("store", help="store directory")
+    sg.add_argument("output", help="output array path (.npy)")
+    sg.add_argument(
+        "--window", default=None, metavar="SPEC",
+        help="comma-separated per-axis selection, e.g. '8:40,0:32,:' or '7,:,:' "
+        "(default: the full array)",
+    )
+    sg.add_argument("--frame", type=int, default=0, help="frame index (default 0)")
+    sg.add_argument(
+        "--level", type=int, default=0,
+        help="coarsening level: skip this many inverse wavelet levels (default 0)",
+    )
+    sg.add_argument(
+        "--budget", type=int, default=None,
+        help="cap decoded compressed bytes for this read (SPECK truncation)",
+    )
+    sg.add_argument(
+        "--salvage", action="store_true",
+        help="fill damaged chunks with --fill-value instead of failing",
+    )
+    sg.add_argument(
+        "--fill-value", type=float, default=None,
+        help="fill for damaged chunks in --salvage mode (default NaN)",
+    )
+    sg.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel workers (threads) for chunk decoding",
+    )
+    sg.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome trace_event JSON of the read's spans to PATH",
+    )
+
+    si = st_sub.add_parser("info", help="summarize a store directory")
+    si.add_argument("store", help="store directory")
+
     cmp_ = sub.add_parser(
         "compare",
         help="run the paper's comparison suite (SPERR vs SZ/ZFP/TTHRESH/MGARD-like) "
@@ -239,6 +308,114 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_window(spec: str | None):
+    """Parse a ``--window`` spec like ``"8:40,0:32,:"`` into slices/ints.
+
+    Components are comma-separated; each is ``:``, ``a:b`` (either side
+    optional, Python semantics), or a bare integer index.
+    """
+    if spec is None:
+        return None
+    window = []
+    for part in spec.split(","):
+        part = part.strip()
+        if ":" in part:
+            pieces = part.split(":")
+            if len(pieces) != 2:
+                raise InvalidArgumentError(
+                    f"bad window component {part!r} (use 'a:b', ':' or an index)"
+                )
+            try:
+                lo = int(pieces[0]) if pieces[0] else None
+                hi = int(pieces[1]) if pieces[1] else None
+            except ValueError:
+                raise InvalidArgumentError(f"bad window component {part!r}") from None
+            window.append(slice(lo, hi))
+        else:
+            try:
+                window.append(int(part))
+            except ValueError:
+                raise InvalidArgumentError(f"bad window component {part!r}") from None
+    return tuple(window)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .store import StoreWriter, open_store
+
+    if args.store_command == "build":
+        frames = [np.load(path) for path in args.inputs]
+        if args.bpp is not None:
+            mode: PweMode | SizeMode = SizeMode(bpp=args.bpp)
+        elif args.idx is not None:
+            mode = PweMode(tolerance_from_idx(frames[0], args.idx))
+        else:
+            mode = PweMode(args.pwe)
+        kwargs = {}
+        if args.shard_size is not None:
+            kwargs["shard_bytes"] = args.shard_size
+        with StoreWriter(
+            args.store,
+            mode,
+            chunk_shape=args.chunk,
+            wavelet=args.wavelet,
+            executor="thread" if args.workers else "serial",
+            workers=args.workers,
+            **kwargs,
+        ) as writer:
+            total = 0
+            for frame in frames:
+                total += writer.append(frame).nbytes
+        raw = sum(f.nbytes for f in frames)
+        print(
+            f"stored {len(frames)} frame(s): {raw} -> {total} payload bytes "
+            f"({raw / total:.1f}x)"
+        )
+        return 0
+
+    if args.store_command == "get":
+        if args.fill_value is not None and not args.salvage:
+            raise InvalidArgumentError("--fill-value requires --salvage")
+        arr = open_store(
+            args.store,
+            executor="thread" if args.workers else "serial",
+            workers=args.workers,
+        )
+        window = _parse_window(args.window)
+        kwargs = {
+            "frame": args.frame,
+            "level": args.level,
+            "budget": args.budget,
+        }
+        with _maybe_trace(args.trace, "sperr.cli.store.get"):
+            if args.salvage:
+                fill = float("nan") if args.fill_value is None else args.fill_value
+                result = arr.read_window(
+                    window, on_error="salvage", fill_value=fill, **kwargs
+                )
+                if not result.report.ok:
+                    print(f"salvage: {result.report.summary()}", file=sys.stderr)
+                    for note in result.report.notes:
+                        print(f"salvage: {note}", file=sys.stderr)
+                out = result.data
+            else:
+                out = arr.read_window(window, **kwargs)
+        np.save(args.output, out)
+        print(f"wrote {out.shape} {out.dtype} to {args.output}")
+        return 0
+
+    info = open_store(args.store, cache_bytes=0).info()
+    print(f"shape:     {info['shape']}")
+    print(f"dtype:     {info['dtype']}")
+    mode_name = _MODE_NAMES.get(info["mode_code"], f"code {info['mode_code']}")
+    print(f"mode:      {mode_name}")
+    print(f"wavelet:   {info['wavelet']} (levels: {info['levels'] or 'auto'})")
+    print(f"frames:    {info['n_frames']}")
+    print(f"chunks:    {info['n_chunks']} per frame (max level {info['max_level']})")
+    print(f"shards:    {info['n_shards']}")
+    print(f"payload:   {info['payload_bytes']} bytes")
+    return 0
+
+
 def _cmd_pack(args: argparse.Namespace) -> int:
     from .core import compress_frames
 
@@ -280,6 +457,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_pack(args)
         if args.command == "extract":
             return _cmd_extract(args)
+        if args.command == "store":
+            return _cmd_store(args)
         return _cmd_info(args)
     except (InvalidArgumentError, UnsupportedModeError) as exc:
         print(f"error: {exc}", file=sys.stderr)

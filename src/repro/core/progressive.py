@@ -11,6 +11,16 @@ Two capabilities fall out of SPERR's wavelet + embedded-bitplane design:
   be reconstructed by skipping the finest inverse-transform levels.
 
 Both operate on standard containers produced by :func:`repro.compress`.
+The chunk-level primitives (:func:`split_chunk_stream`,
+:func:`truncate_chunk_stream`) are shared with the random-access store
+(:mod:`repro.store`), which applies the same truncation per chunk to
+serve windowed reads under a byte budget.
+
+All payload parsing here runs behind the :func:`~repro.errors.decode_guard`
+/ :func:`~repro.errors.checked_shape` trust boundary, matching every
+other decoder in the package: a forged or corrupted payload surfaces as
+:class:`~repro.errors.StreamFormatError`, never a raw ``struct``/numpy
+exception, and declared shapes are capped before sizing an allocation.
 """
 
 from __future__ import annotations
@@ -19,23 +29,90 @@ import numpy as np
 
 from .. import lossless
 from ..bitstream import HEADER_SIZE, ChunkHeader, ChunkParams
-from ..errors import InvalidArgumentError, StreamFormatError, UnsupportedModeError
+from ..errors import (
+    InvalidArgumentError,
+    StreamFormatError,
+    UnsupportedModeError,
+    checked_shape,
+    decode_guard,
+)
 from ..speck import decode_coefficients
-from ..wavelets import WaveletPlan, inverse_to_level
-from .container import build_container, parse_container
+from ..wavelets import inverse_to_level
+from .plans import wavelet_plan
 
-__all__ = ["truncate", "decompress_multires"]
+__all__ = [
+    "truncate",
+    "decompress_multires",
+    "split_chunk_stream",
+    "truncate_chunk_stream",
+]
 
 
-def _split_chunk(raw: bytes) -> tuple[ChunkHeader, ChunkParams, bytes, bytes]:
+def split_chunk_stream(raw: bytes) -> tuple[ChunkHeader, ChunkParams, bytes, bytes]:
+    """Split a raw (lossless-decompressed) chunk stream into its parts.
+
+    Returns ``(header, params, speck_section, outlier_section)`` after
+    validating the section table against the actual byte count and the
+    declared bit counts against the section sizes — the same checks
+    :func:`~repro.core.pipeline.decompress_chunk` applies before
+    trusting a stream.
+    """
     header = ChunkHeader.unpack(raw)
     params = ChunkParams.unpack(raw[HEADER_SIZE:])
     body = raw[HEADER_SIZE + ChunkParams.SIZE :]
     if len(body) < header.speck_nbytes + params.outlier_nbytes:
         raise StreamFormatError("chunk stream shorter than its section table")
+    if params.speck_nbits > 8 * header.speck_nbytes:
+        raise StreamFormatError(
+            f"SPECK section declares {params.speck_nbits} bits in "
+            f"{header.speck_nbytes} bytes"
+        )
+    if params.outlier_nbits > 8 * params.outlier_nbytes:
+        raise StreamFormatError(
+            f"outlier section declares {params.outlier_nbits} bits in "
+            f"{params.outlier_nbytes} bytes"
+        )
+    if not np.isfinite(params.q) or params.q < 0:
+        raise StreamFormatError(f"invalid quantization step {params.q!r}")
     speck = body[: header.speck_nbytes]
     outliers = body[header.speck_nbytes : header.speck_nbytes + params.outlier_nbytes]
     return header, params, speck, outliers
+
+
+def truncate_chunk_stream(raw: bytes, fraction: float) -> bytes:
+    """Cut one raw chunk stream's SPECK section to ``fraction`` of its bits.
+
+    Returns a new self-contained raw chunk stream.  The outlier section
+    is dropped (its corrections refer to the full-precision coefficient
+    reconstruction), so the result decodes as a size-mode stream: a
+    valid coarser reconstruction without a PWE guarantee.  ``raw`` is
+    parsed behind the decode guard, so a malformed stream raises
+    :class:`~repro.errors.StreamFormatError`.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise InvalidArgumentError("fraction must be in (0, 1]")
+    with decode_guard("sperr"):
+        header, params, speck, _outliers = split_chunk_stream(raw)
+    new_nbits = max(16, int(params.speck_nbits * fraction))
+    new_nbits = min(new_nbits, params.speck_nbits)
+    new_speck = speck[: (new_nbits + 7) // 8]
+    new_header = ChunkHeader(
+        shape=header.shape,
+        speck_nbytes=len(new_speck),
+        is_double=header.is_double,
+        pwe_mode=False,
+        has_outliers=False,
+    )
+    new_params = ChunkParams(
+        q=params.q,
+        tolerance=0.0,
+        speck_nbits=new_nbits,
+        outlier_nbits=0,
+        outlier_nbytes=0,
+        wavelet=params.wavelet,
+        levels=params.levels,
+    )
+    return new_header.pack() + new_params.pack() + new_speck
 
 
 def truncate(payload: bytes, fraction: float) -> bytes:
@@ -48,33 +125,18 @@ def truncate(payload: bytes, fraction: float) -> bytes:
     guarantee — exactly the trade-off of the streaming scenario in
     Sec. VII.
     """
+    from .container import build_container, parse_container
+
     if not 0.0 < fraction <= 1.0:
         raise InvalidArgumentError("fraction must be in (0, 1]")
     parsed = parse_container(payload)
     new_streams: list[bytes] = []
     for stream in parsed.streams:
-        header, params, speck, _outliers = _split_chunk(lossless.decompress(stream))
-        new_nbits = max(16, int(params.speck_nbits * fraction))
-        new_nbits = min(new_nbits, params.speck_nbits)
-        new_speck = speck[: (new_nbits + 7) // 8]
-        new_header = ChunkHeader(
-            shape=header.shape,
-            speck_nbytes=len(new_speck),
-            is_double=header.is_double,
-            pwe_mode=False,
-            has_outliers=False,
+        with decode_guard("sperr"):
+            raw = lossless.decompress(stream)
+        new_streams.append(
+            lossless.compress(truncate_chunk_stream(raw, fraction), method="auto")
         )
-        new_params = ChunkParams(
-            q=params.q,
-            tolerance=0.0,
-            speck_nbits=new_nbits,
-            outlier_nbits=0,
-            outlier_nbytes=0,
-            wavelet=params.wavelet,
-            levels=params.levels,
-        )
-        raw = new_header.pack() + new_params.pack() + new_speck
-        new_streams.append(lossless.compress(raw, method="auto"))
     return build_container(
         parsed.rank, parsed.dtype, 1, parsed.shape, parsed.chunks, new_streams
     )
@@ -85,11 +147,15 @@ def decompress_multires(payload: bytes, level: int) -> np.ndarray:
     wavelet levels (each skipped level roughly halves every axis).
 
     Requires a single-chunk container — coarse views of independently
-    transformed chunks do not tile into one coherent coarse volume.
-    ``level = 0`` is equivalent to full decompression without outlier
-    corrections applied at coarser levels (corrections are point-wise at
-    full resolution, so they are applied only when ``level == 0``).
+    transformed chunks do not tile into one coherent coarse volume
+    (:meth:`repro.store.CompressedArray.read_window` offers the
+    chunk-aligned equivalent for sharded stores).  ``level = 0`` is
+    equivalent to full decompression without outlier corrections applied
+    at coarser levels (corrections are point-wise at full resolution, so
+    they are applied only when ``level == 0``).
     """
+    from .container import parse_container
+
     if level < 0:
         raise InvalidArgumentError("level must be non-negative")
     parsed = parse_container(payload)
@@ -103,14 +169,15 @@ def decompress_multires(payload: bytes, level: int) -> np.ndarray:
 
         return decompress(payload)
 
-    raw = lossless.decompress(parsed.streams[0])
-    header, params, speck, _outliers = _split_chunk(raw)
-    shape = parsed.shape
-    coeffs = decode_coefficients(speck, shape, params.q, nbits=params.speck_nbits)
-    plan = WaveletPlan.create(shape, wavelet=params.wavelet, levels=params.levels)
-    if level > plan.total_levels:
-        raise InvalidArgumentError(
-            f"container supports at most {plan.total_levels} coarsening levels"
-        )
-    box = inverse_to_level(coeffs, plan, level)
+    shape = checked_shape(parsed.shape, "sperr")
+    with decode_guard("sperr"):
+        raw = lossless.decompress(parsed.streams[0])
+        _header, params, speck, _outliers = split_chunk_stream(raw)
+        coeffs = decode_coefficients(speck, shape, params.q, nbits=params.speck_nbits)
+        plan = wavelet_plan(shape, wavelet=params.wavelet, levels=params.levels)
+        if level > plan.total_levels:
+            raise InvalidArgumentError(
+                f"container supports at most {plan.total_levels} coarsening levels"
+            )
+        box = inverse_to_level(coeffs, plan, level)
     return box.astype(parsed.dtype, copy=False)

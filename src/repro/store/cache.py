@@ -1,0 +1,121 @@
+"""Memory-budgeted LRU cache of decoded chunks.
+
+Repeat window reads over the same region of a store mostly hit the same
+chunks; decoding a chunk costs milliseconds while copying its decoded
+array out of memory costs microseconds.  :class:`DecodedChunkCache`
+keeps recently decoded chunk arrays (keyed by ``(frame, chunk, level)``)
+under a byte budget, evicting least-recently-used entries, so warm
+window reads skip the SPECK/wavelet pipeline entirely.
+
+The cache is shared by every thread reading through one
+:class:`~repro.store.CompressedArray`: all bookkeeping happens under a
+single lock, and cached arrays are marked read-only so a hit can be
+served zero-copy without risking cache poisoning through an aliased
+mutation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+import numpy as np
+
+from ..errors import InvalidArgumentError
+
+__all__ = ["DecodedChunkCache", "DEFAULT_CACHE_BYTES"]
+
+#: Default decoded-chunk cache budget per open store (64 MiB).
+DEFAULT_CACHE_BYTES = 64 << 20
+
+
+class DecodedChunkCache:
+    """Thread-safe LRU of decoded chunk arrays under a byte budget.
+
+    ``max_bytes=0`` disables the cache (every :meth:`get` misses and
+    :meth:`put` is a no-op), which is the reference behaviour the
+    equivalence tests compare against.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        if max_bytes < 0:
+            raise InvalidArgumentError("cache budget must be non-negative")
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._nbytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        """True when the cache has a non-zero budget."""
+        return self.max_bytes > 0
+
+    @property
+    def nbytes(self) -> int:
+        """Current resident bytes (always ``<= max_bytes``)."""
+        with self._lock:
+            return self._nbytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> np.ndarray | None:
+        """Look up a decoded chunk; a hit moves the entry to MRU.
+
+        Returns the cached (read-only) array or ``None`` on a miss.
+        """
+        with self._lock:
+            arr = self._entries.get(key)
+            if arr is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return arr
+
+    def put(self, key: Hashable, arr: np.ndarray) -> bool:
+        """Insert a decoded chunk, evicting LRU entries over budget.
+
+        Arrays larger than the whole budget are not cached (they would
+        evict everything and then be evicted themselves on the next
+        insert).  The stored array is marked read-only; callers must
+        treat hits as immutable.  Returns True when the entry resides in
+        the cache on return.
+        """
+        if not self.enabled or arr.nbytes > self.max_bytes:
+            return False
+        arr.setflags(write=False)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._nbytes -= old.nbytes
+            self._entries[key] = arr
+            self._nbytes += arr.nbytes
+            while self._nbytes > self.max_bytes and self._entries:
+                _, victim = self._entries.popitem(last=False)
+                self._nbytes -= victim.nbytes
+                self._evictions += 1
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry (budget and counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._nbytes = 0
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of hit/miss/eviction counters and residency."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+                "nbytes": self._nbytes,
+                "max_bytes": self.max_bytes,
+            }

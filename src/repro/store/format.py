@@ -1,0 +1,286 @@
+"""On-disk layout of the random-access compressed-array store.
+
+A *store* is a directory holding two kinds of files:
+
+* ``shard-NNNN.bin`` — shard files, each an 8-byte magic prologue
+  followed by concatenated per-chunk payload streams.  Every stream is
+  byte-identical to the corresponding chunk stream of a container built
+  by :func:`repro.compress` (lossless-compressed
+  :func:`repro.core.pipeline.compress_chunk` output), so the existing
+  chunk decoders, CRC verification, and salvage logic apply unchanged.
+* ``index.bin`` — the footer index: global metadata (shape, dtype,
+  mode, chunk grid, wavelet/levels) plus one
+  :class:`ChunkEntry` per ``(frame, chunk)`` mapping the chunk id to
+  ``(shard, offset, length, CRC32)``.  The chunk grid doubles as the
+  bounding box in index space for every chunk of every frame.
+
+Index layout (little-endian)::
+
+    magic "SPRRIDX1"         8 bytes
+    rank        u8
+    dtype code  u8  (0=float32, 1=float64)
+    mode code   u8  (0=PWE, 1=size, 2=PSNR)
+    flags       u8  (reserved, 0)
+    index CRC32 u32 (over the whole index, this field zeroed)
+    wavelet id  u8
+    levels      u8  (255 = auto level rule)
+    reserved    u16
+    shape       rank * u64
+    n_chunks    u32
+    bounds      n_chunks * rank * 2 * u64
+    n_frames    u32
+    n_shards    u32
+    entries     n_frames * n_chunks * (u32 shard, u64 offset, u64 length, u32 crc)
+
+The index is untrusted input: :func:`parse_index` verifies the CRC
+before trusting any field and runs every shape/count through the
+:mod:`repro.errors` trust boundary (:func:`~repro.errors.decode_guard`,
+:func:`~repro.errors.checked_shape`, explicit allocation caps), exactly
+like container parsing.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bitstream.header import LEVELS_AUTO, WAVELET_IDS, WAVELET_NAMES
+from ..errors import (
+    IntegrityError,
+    InvalidArgumentError,
+    StreamFormatError,
+    checked_shape,
+    decode_guard,
+)
+from ..core.chunking import Chunk
+from ..core.container import MAX_TOTAL_POINTS, _DTYPE_BY_CODE, _DTYPES
+
+__all__ = [
+    "ChunkEntry",
+    "StoreIndex",
+    "INDEX_NAME",
+    "INDEX_MAGIC",
+    "SHARD_MAGIC",
+    "MAX_FRAMES",
+    "DEFAULT_SHARD_BYTES",
+    "shard_name",
+    "pack_index",
+    "parse_index",
+]
+
+INDEX_MAGIC = b"SPRRIDX1"
+SHARD_MAGIC = b"SPRRSHD1"
+
+#: File name of the footer index inside a store directory.
+INDEX_NAME = "index.bin"
+
+#: Cap on the number of frames an index may declare (anti-DoS: bounds
+#: the entry-table allocation before any entry is read).
+MAX_FRAMES = 1 << 20
+
+#: Default shard rotation threshold: a shard is closed and a new one
+#: opened once it exceeds this many payload bytes.
+DEFAULT_SHARD_BYTES = 4 << 20
+
+#: byte offset of the index CRC field (after magic + 4 meta bytes)
+_INDEX_CRC_OFFSET = 12
+
+_ENTRY_FMT = "<IQQI"
+_ENTRY_SIZE = struct.calcsize(_ENTRY_FMT)
+
+
+def shard_name(shard: int) -> str:
+    """File name of shard ``shard`` inside a store directory."""
+    return f"shard-{shard:04d}.bin"
+
+
+@dataclass(frozen=True)
+class ChunkEntry:
+    """Index record for one stored chunk stream.
+
+    ``offset`` is measured from the start of the shard file (the 8-byte
+    shard magic counts, so offsets are directly seekable); ``crc32`` is
+    the CRC of the ``length`` payload bytes — the same per-chunk CRC a
+    v2 container would carry, so salvage semantics match.
+    """
+
+    shard: int
+    offset: int
+    length: int
+    crc32: int
+
+
+@dataclass(frozen=True)
+class StoreIndex:
+    """Decoded footer index of one store.
+
+    ``chunks`` is the chunk grid shared by every frame; ``entries`` is
+    one tuple of :class:`ChunkEntry` per frame, in chunk-grid order.
+    ``levels`` is ``None`` when the writer used the paper's automatic
+    per-axis level rule.
+    """
+
+    rank: int
+    dtype: np.dtype
+    mode_code: int
+    shape: tuple[int, ...]
+    chunks: list[Chunk]
+    wavelet: str
+    levels: int | None
+    n_shards: int
+    entries: tuple[tuple[ChunkEntry, ...], ...]
+
+    @property
+    def n_frames(self) -> int:
+        """Number of stored frames."""
+        return len(self.entries)
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks in the (per-frame) grid."""
+        return len(self.chunks)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total compressed chunk-stream bytes across all frames."""
+        return sum(e.length for frame in self.entries for e in frame)
+
+
+def pack_index(index: StoreIndex) -> bytes:
+    """Serialize a :class:`StoreIndex` (inverse of :func:`parse_index`)."""
+    if index.rank != len(index.shape):
+        raise InvalidArgumentError("index rank does not match its shape")
+    if index.wavelet not in WAVELET_IDS:
+        raise InvalidArgumentError(f"unknown wavelet {index.wavelet!r}")
+    out = bytearray()
+    out += INDEX_MAGIC
+    out += struct.pack(
+        "<BBBB", index.rank, _DTYPES[np.dtype(index.dtype)], index.mode_code, 0
+    )
+    out += b"\x00\x00\x00\x00"  # index CRC, patched below
+    out += struct.pack(
+        "<BBH",
+        WAVELET_IDS[index.wavelet],
+        LEVELS_AUTO if index.levels is None else index.levels,
+        0,
+    )
+    out += struct.pack(f"<{index.rank}Q", *index.shape)
+    out += struct.pack("<I", len(index.chunks))
+    for chunk in index.chunks:
+        for a, b in chunk.bounds:
+            out += struct.pack("<QQ", a, b)
+    out += struct.pack("<II", index.n_frames, index.n_shards)
+    for frame in index.entries:
+        if len(frame) != len(index.chunks):
+            raise InvalidArgumentError("frame entry count does not match the grid")
+        for e in frame:
+            out += struct.pack(_ENTRY_FMT, e.shard, e.offset, e.length, e.crc32)
+    struct.pack_into("<I", out, _INDEX_CRC_OFFSET, zlib.crc32(bytes(out)))
+    return bytes(out)
+
+
+def parse_index(payload: bytes) -> StoreIndex:
+    """Decode and validate an ``index.bin`` payload.
+
+    The CRC over the whole index is verified before any field is
+    trusted; malformed framing surfaces as
+    :class:`~repro.errors.StreamFormatError` via the decode guard.
+    """
+    if payload[:8] != INDEX_MAGIC:
+        raise StreamFormatError("not a store index (bad magic)")
+    with decode_guard("store"):
+        return _parse_index_body(payload)
+
+
+def _parse_index_body(payload: bytes) -> StoreIndex:
+    pos = 8
+    rank, dtype_code, mode_code, _flags = struct.unpack_from("<BBBB", payload, pos)
+    pos += 4
+    (stored_crc,) = struct.unpack_from("<I", payload, pos)
+    pos += 4
+    body = bytearray(payload)
+    body[_INDEX_CRC_OFFSET : _INDEX_CRC_OFFSET + 4] = b"\x00\x00\x00\x00"
+    if zlib.crc32(bytes(body)) != stored_crc:
+        raise IntegrityError("store index CRC mismatch")
+    if rank < 1 or rank > 3:
+        raise StreamFormatError(f"invalid rank {rank}")
+    if dtype_code not in _DTYPE_BY_CODE:
+        raise StreamFormatError(f"invalid dtype code {dtype_code}")
+    wavelet_id, levels_code, _reserved = struct.unpack_from("<BBH", payload, pos)
+    pos += 4
+    if wavelet_id not in WAVELET_NAMES:
+        raise StreamFormatError(f"unknown wavelet id {wavelet_id}")
+    shape = checked_shape(
+        struct.unpack_from(f"<{rank}Q", payload, pos),
+        "store",
+        max_points=MAX_TOTAL_POINTS,
+    )
+    pos += 8 * rank
+    npoints = int(np.prod([int(s) for s in shape], dtype=np.int64))
+    (n_chunks,) = struct.unpack_from("<I", payload, pos)
+    pos += 4
+    if n_chunks < 1 or n_chunks > max(1, npoints):
+        raise StreamFormatError(
+            f"index declares {n_chunks} chunks for {npoints} points"
+        )
+    chunks = []
+    for _ in range(n_chunks):
+        bounds = []
+        for axis in range(rank):
+            a, b = struct.unpack_from("<QQ", payload, pos)
+            pos += 16
+            if a >= b or b > int(shape[axis]):
+                raise StreamFormatError(
+                    f"chunk bounds ({a}, {b}) outside axis extent {shape[axis]}"
+                )
+            bounds.append((int(a), int(b)))
+        chunks.append(Chunk(bounds=tuple(bounds)))
+    n_frames, n_shards = struct.unpack_from("<II", payload, pos)
+    pos += 8
+    if n_frames < 1 or n_frames > MAX_FRAMES:
+        raise StreamFormatError(f"index declares {n_frames} frames")
+    if n_shards < 1:
+        raise StreamFormatError("index declares zero shards")
+    expected = pos + n_frames * n_chunks * _ENTRY_SIZE
+    if len(payload) != expected:
+        raise StreamFormatError(
+            f"index is {len(payload)} bytes, expected {expected} for "
+            f"{n_frames} frames of {n_chunks} chunks"
+        )
+    entries = []
+    for _ in range(n_frames):
+        frame = []
+        for _ in range(n_chunks):
+            shard, offset, length, crc = struct.unpack_from(_ENTRY_FMT, payload, pos)
+            pos += _ENTRY_SIZE
+            if shard >= n_shards:
+                raise StreamFormatError(
+                    f"entry references shard {shard} of {n_shards}"
+                )
+            if length < 1 or offset < len(SHARD_MAGIC):
+                raise StreamFormatError(
+                    f"entry has invalid extent (offset {offset}, length {length})"
+                )
+            frame.append(
+                ChunkEntry(
+                    shard=int(shard),
+                    offset=int(offset),
+                    length=int(length),
+                    crc32=int(crc),
+                )
+            )
+        entries.append(tuple(frame))
+    return StoreIndex(
+        rank=rank,
+        dtype=_DTYPE_BY_CODE[dtype_code],
+        mode_code=mode_code,
+        shape=shape,
+        chunks=chunks,
+        wavelet=WAVELET_NAMES[wavelet_id],
+        levels=None if levels_code == LEVELS_AUTO else int(levels_code),
+        n_shards=int(n_shards),
+        entries=tuple(entries),
+    )

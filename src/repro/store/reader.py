@@ -1,0 +1,628 @@
+"""Random-access reader: lazy views over a sharded compressed store.
+
+:func:`open_store` returns a :class:`CompressedArray`, a lazy view that
+decodes *only* the chunks a request actually touches:
+
+* :meth:`CompressedArray.read_window` takes a window (a tuple of slices
+  and/or integer indices in index space), finds the intersecting chunks
+  through the per-axis grid index, decodes the cache misses (optionally
+  in parallel through :mod:`repro.core.parallel`), and assembles the
+  result with exact overlap cropping — byte-identical to slicing the
+  full decompression at level 0.
+* ``level > 0`` serves a chunk-aligned coarse preview: every chunk
+  covering the window is reconstructed at the requested wavelet level
+  and the coarse tiles are assembled on the coarse grid.
+* ``budget=`` bounds the decode work: when the compressed bytes behind
+  the cache misses exceed the budget, each miss is truncated to the
+  proportional fraction of its SPECK bits via
+  :func:`repro.core.progressive.truncate_chunk_stream` (a valid coarser
+  reconstruction; the PWE guarantee is waived, and budgeted results
+  bypass the decoded-chunk cache).
+* ``on_error="salvage"`` honors the container salvage contract per
+  chunk: a damaged chunk fills only its window intersection with
+  ``fill_value`` and is reported in the returned
+  :class:`~repro.core.container.DecodeReport` instead of aborting the
+  read.
+
+Repeat traffic is served from a shared, thread-safe
+:class:`~repro.store.cache.DecodedChunkCache` keyed by
+``(frame, chunk, level)``.  Every read is instrumented through
+:mod:`repro.obs`: a ``store.read_window`` span wrapping per-chunk
+``store.chunk.decode`` spans, plus counters for cache hits/misses,
+chunks requested/decoded, and bytes read from disk vs. bytes served.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from functools import partial
+from pathlib import Path
+
+import numpy as np
+
+from .. import lossless, obs
+from ..errors import (
+    IntegrityError,
+    InvalidArgumentError,
+    StreamFormatError,
+    decode_guard,
+)
+from ..core.container import ChunkDecodeStatus, DecodeReport, DecodeResult
+from ..core.parallel import robust_chunk_map
+from ..core.pipeline import decompress_chunk
+from ..core.plans import wavelet_plan
+from ..core.progressive import split_chunk_stream, truncate_chunk_stream
+from ..speck import decode_coefficients
+from ..wavelets import inverse_to_level, num_levels
+from .cache import DEFAULT_CACHE_BYTES, DecodedChunkCache
+from .format import INDEX_NAME, SHARD_MAGIC, StoreIndex, parse_index, shard_name
+
+__all__ = ["CompressedArray", "open_store"]
+
+#: The store's chunk streams use the container-v2 chunk framing; decode
+#: reports carry this so salvage reports read the same as container ones.
+_REPORT_FORMAT_VERSION = 2
+
+
+def _coarse_extent(n: int, level: int, levels_cap: int | None) -> int:
+    """Axis extent of an ``n``-long axis coarsened ``level`` times under
+    the store's wavelet level rule (capped by ``levels_cap``)."""
+    depth = num_levels(n)
+    if levels_cap is not None:
+        depth = min(depth, levels_cap)
+    for _ in range(min(level, depth)):
+        n = (n + 1) // 2
+    return n
+
+
+def _decode_multires(
+    raw: bytes,
+    expected_shape: tuple[int, ...],
+    level: int,
+    levels_cap: int | None,
+) -> np.ndarray:
+    """Decode one raw chunk stream to its level-``level`` coarse box."""
+    header, params, speck, _outliers = split_chunk_stream(raw)
+    rank = len(expected_shape)
+    shape = tuple(header.shape[:rank])
+    if any(n != 1 for n in header.shape[rank:]) or shape != tuple(expected_shape):
+        raise StreamFormatError(
+            f"chunk header shape {header.shape} does not match the store's "
+            f"chunk bounds {tuple(expected_shape)}"
+        )
+    coeffs = decode_coefficients(speck, shape, params.q, nbits=params.speck_nbits)
+    plan = wavelet_plan(shape, wavelet=params.wavelet, levels=params.levels)
+    box = inverse_to_level(coeffs, plan, min(level, plan.total_levels))
+    expected_box = tuple(_coarse_extent(n, level, levels_cap) for n in shape)
+    if box.shape != expected_box:
+        raise StreamFormatError(
+            f"chunk decodes to coarse shape {box.shape}, expected "
+            f"{expected_box} (stream parameters disagree with the index)"
+        )
+    return box
+
+
+def _decode_store_chunk(
+    item: tuple[bytes, tuple[int, ...], int, int, int | None, float | None],
+    rank: int,
+) -> np.ndarray:
+    """Module-level chunk-decode job (picklable for the process executor).
+
+    ``item`` is ``(stream, expected_shape, crc, level, levels_cap,
+    fraction)``; the CRC is verified here, inside the executor, so a
+    damaged chunk costs one checksum before any decode work.
+    """
+    stream, expected_shape, crc, level, levels_cap, fraction = item
+    with obs.span("store.chunk.decode", nbytes=len(stream), level=level):
+        if zlib.crc32(stream) != crc:
+            raise IntegrityError(f"chunk CRC mismatch (stored {crc:#010x})")
+        with decode_guard("store"):
+            raw = lossless.decompress(stream)
+            if fraction is not None and fraction < 1.0:
+                raw = truncate_chunk_stream(raw, fraction)
+            if level == 0:
+                return decompress_chunk(
+                    raw, rank=rank, expected_shape=expected_shape
+                )
+            return _decode_multires(raw, expected_shape, level, levels_cap)
+
+
+def _salvage_store_chunk(
+    item: tuple[bytes, tuple[int, ...], int, int, int | None, float | None],
+    rank: int,
+) -> tuple[str, np.ndarray | str]:
+    """Salvage-mode decode job: never raises, returns ``(status, value)``."""
+    stream = item[0]
+    if zlib.crc32(stream) != item[2]:
+        return ("crc_mismatch", f"chunk CRC mismatch (stored {item[2]:#010x})")
+    try:
+        return ("ok", _decode_store_chunk(item, rank))
+    except Exception as exc:  # noqa: BLE001 - isolation boundary by design
+        return ("decode_error", f"{type(exc).__name__}: {exc}")
+
+
+def _normalize_window(
+    shape: tuple[int, ...], window
+) -> tuple[tuple[tuple[int, int], ...], tuple[int, ...]]:
+    """Resolve a window spec to per-axis ``(lo, hi)`` bounds.
+
+    Accepts ``None``/``Ellipsis`` (full array), a single slice or int,
+    or a tuple mixing contiguous slices (step 1, Python negative-index
+    semantics) and integers.  Missing trailing axes read fully.  Returns
+    ``(bounds, squeeze_axes)`` where ``squeeze_axes`` lists the axes
+    selected by integer index (dropped from the output, like numpy).
+    """
+    if window is None or window is Ellipsis:
+        window = ()
+    if isinstance(window, (slice, int, np.integer)):
+        window = (window,)
+    if not isinstance(window, (tuple, list)):
+        raise InvalidArgumentError(
+            f"window must be a tuple of slices/ints, got {type(window).__name__}"
+        )
+    if len(window) > len(shape):
+        raise InvalidArgumentError(
+            f"window has {len(window)} axes but the store is {len(shape)}-D"
+        )
+    bounds: list[tuple[int, int]] = []
+    squeeze: list[int] = []
+    for ax, n in enumerate(shape):
+        w = window[ax] if ax < len(window) else slice(None)
+        if isinstance(w, (int, np.integer)):
+            i = int(w)
+            if i < 0:
+                i += n
+            if not 0 <= i < n:
+                raise InvalidArgumentError(
+                    f"index {int(w)} out of bounds for axis {ax} of extent {n}"
+                )
+            bounds.append((i, i + 1))
+            squeeze.append(ax)
+        elif isinstance(w, slice):
+            if w.step not in (None, 1):
+                raise InvalidArgumentError(
+                    "windows must be contiguous (slice step 1)"
+                )
+            start, stop, _step = w.indices(n)
+            bounds.append((start, max(start, stop)))
+        else:
+            raise InvalidArgumentError(
+                f"unsupported window component {w!r} on axis {ax}"
+            )
+    return tuple(bounds), tuple(squeeze)
+
+
+class CompressedArray:
+    """Lazy, random-access view of a compressed store.
+
+    Obtained from :func:`open_store`.  Exposes the store's geometry
+    (``shape``, ``dtype``, ``n_frames``, chunk grid) without touching
+    any shard file; :meth:`read_window` decodes exactly the chunks a
+    request intersects, through the shared decoded-chunk cache.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        executor: str = "serial",
+        workers: int | None = None,
+    ) -> None:
+        self.path = Path(path)
+        index_path = self.path / INDEX_NAME
+        if not index_path.exists():
+            raise StreamFormatError(f"{self.path} has no store index ({INDEX_NAME})")
+        self._index = parse_index(index_path.read_bytes())
+        self.cache = DecodedChunkCache(cache_bytes)
+        self.executor = executor
+        self.workers = workers
+        self._build_grid()
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def index(self) -> StoreIndex:
+        """The decoded footer index (chunk grid, shard map, entries)."""
+        return self._index
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Index-space shape of every stored frame."""
+        return self._index.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype reads are returned in."""
+        return self._index.dtype
+
+    @property
+    def rank(self) -> int:
+        """Number of index-space dimensions."""
+        return self._index.rank
+
+    @property
+    def n_frames(self) -> int:
+        """Number of stored frames."""
+        return self._index.n_frames
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks in the per-frame grid."""
+        return self._index.n_chunks
+
+    @property
+    def max_level(self) -> int:
+        """Deepest coarsening level any chunk supports (0 = none)."""
+        return self._max_level
+
+    def _build_grid(self) -> None:
+        """Index the chunk list as an axis-aligned grid for fast lookup.
+
+        The writer's grid is an outer product of per-axis runs; a forged
+        index that is not axis-aligned, does not tile the volume, or
+        repeats cells is rejected here, before any read.
+        """
+        index = self._index
+        runs: list[list[tuple[int, int]]] = []
+        pos_of: list[dict[tuple[int, int], int]] = []
+        for ax in range(index.rank):
+            axis_runs = sorted({c.bounds[ax] for c in index.chunks})
+            expected = 0
+            for a, b in axis_runs:
+                if a != expected:
+                    raise StreamFormatError(
+                        f"chunk grid does not tile axis {ax} (gap at {expected})"
+                    )
+                expected = b
+            if expected != index.shape[ax]:
+                raise StreamFormatError(
+                    f"chunk grid covers {expected} of axis {ax}'s "
+                    f"{index.shape[ax]} points"
+                )
+            runs.append(axis_runs)
+            pos_of.append({run: p for p, run in enumerate(axis_runs)})
+        grid_shape = tuple(len(r) for r in runs)
+        if int(np.prod(grid_shape)) != index.n_chunks:
+            raise StreamFormatError(
+                f"{index.n_chunks} chunks do not form a {grid_shape} grid"
+            )
+        grid = np.full(grid_shape, -1, dtype=np.int64)
+        for i, chunk in enumerate(index.chunks):
+            pos = tuple(pos_of[ax][chunk.bounds[ax]] for ax in range(index.rank))
+            if grid[pos] != -1:
+                raise StreamFormatError(f"duplicate chunk at grid cell {pos}")
+            grid[pos] = i
+        self._axis_runs = runs
+        self._grid = grid
+        self._max_level = max(
+            max(
+                (min(num_levels(n), index.levels)
+                 if index.levels is not None else num_levels(n))
+                for n in chunk.shape
+            )
+            for chunk in index.chunks
+        )
+
+    # -- reads ------------------------------------------------------------
+
+    def read(self, frame: int = 0, **kwargs) -> np.ndarray | DecodeResult:
+        """Decode one full frame (a full-array :meth:`read_window`)."""
+        return self.read_window(None, frame=frame, **kwargs)
+
+    def read_window(
+        self,
+        window=None,
+        *,
+        frame: int = 0,
+        level: int = 0,
+        budget: int | None = None,
+        on_error: str = "raise",
+        fill_value: float = float("nan"),
+        executor: str | None = None,
+        workers: int | None = None,
+    ) -> np.ndarray | DecodeResult:
+        """Decode the region of ``window``, touching only intersecting chunks.
+
+        ``window`` is a tuple of contiguous slices and/or integer
+        indices in index space (missing trailing axes read fully).  At
+        ``level=0`` the result is byte-identical to slicing the full
+        decompression.  ``level>0`` returns the chunk-aligned coarse
+        preview of the covering region (integer indices are not
+        supported there).  ``budget`` caps the compressed bytes decoded
+        for cache misses by SPECK-truncating each miss proportionally —
+        a valid coarser reconstruction without the PWE guarantee;
+        budgeted chunks bypass the cache.  ``on_error="salvage"``
+        returns a :class:`~repro.core.container.DecodeResult` whose
+        report lists damaged chunks; only their window intersection is
+        filled with ``fill_value``.
+        """
+        if not 0 <= frame < self.n_frames:
+            raise InvalidArgumentError(
+                f"frame {frame} out of range for {self.n_frames} stored frames"
+            )
+        if on_error not in ("raise", "salvage"):
+            raise InvalidArgumentError(
+                f"on_error must be 'raise' or 'salvage', got {on_error!r}"
+            )
+        if level < 0:
+            raise InvalidArgumentError("level must be non-negative")
+        if level > self._max_level:
+            raise InvalidArgumentError(
+                f"store supports at most {self._max_level} coarsening levels"
+            )
+        if budget is not None and budget < 1:
+            raise InvalidArgumentError("budget must be a positive byte count")
+        bounds, squeeze = _normalize_window(self.shape, window)
+        if level > 0 and squeeze:
+            raise InvalidArgumentError(
+                "integer indices are not supported for coarse (level > 0) reads"
+            )
+        executor = self.executor if executor is None else executor
+        workers = self.workers if workers is None else workers
+
+        with obs.span(
+            "store.read_window",
+            frame=frame,
+            level=level,
+            window=str(tuple(bounds)),
+        ):
+            chosen = [
+                i
+                for i, chunk in enumerate(self._index.chunks)
+                if all(
+                    a < hi and lo < b
+                    for (a, b), (lo, hi) in zip(chunk.bounds, bounds)
+                )
+            ]
+            obs.add_counter("store.chunks.requested", len(chosen))
+            use_cache = budget is None
+            parts: dict[int, np.ndarray] = {}
+            misses: list[int] = []
+            for i in chosen:
+                cached = self.cache.get((frame, i, level)) if use_cache else None
+                if cached is not None:
+                    parts[i] = cached
+                    obs.add_counter("store.cache.hits")
+                else:
+                    obs.add_counter("store.cache.misses")
+                    misses.append(i)
+
+            salvage = on_error == "salvage"
+            report = DecodeReport(format_version=_REPORT_FORMAT_VERSION)
+            failures: dict[int, tuple[str, str]] = {}
+            streams = self._read_streams(frame, misses, failures, salvage)
+            fraction = None
+            if budget is not None:
+                total = sum(len(s) for s in streams.values())
+                if total > budget:
+                    fraction = budget / total
+
+            entries = self._index.entries[frame]
+            readable = [i for i in misses if i in streams]
+            items = [
+                (
+                    streams[i],
+                    self._index.chunks[i].shape,
+                    entries[i].crc32,
+                    level,
+                    self._index.levels,
+                    fraction,
+                )
+                for i in readable
+            ]
+            if salvage:
+                work = partial(_salvage_store_chunk, rank=self.rank)
+                results, notes = robust_chunk_map(
+                    work, items, executor=executor, workers=workers
+                )
+                report.notes.extend(notes)
+                for i, (status, value) in zip(readable, results):
+                    if status == "ok":
+                        parts[i] = value
+                        if use_cache:
+                            self.cache.put((frame, i, level), value)
+                    else:
+                        failures[i] = (status, str(value))
+            else:
+                work = partial(_decode_store_chunk, rank=self.rank)
+                decoded, _notes = robust_chunk_map(
+                    work, items, executor=executor, workers=workers
+                )
+                for i, arr in zip(readable, decoded):
+                    parts[i] = arr
+                    if use_cache:
+                        self.cache.put((frame, i, level), arr)
+            obs.add_counter("store.chunks.decoded", len(misses))
+
+            for i in chosen:
+                if i in failures:
+                    status, error = failures[i]
+                    report.chunk_status.append(
+                        ChunkDecodeStatus(index=i, status=status, error=error)
+                    )
+                else:
+                    report.chunk_status.append(
+                        ChunkDecodeStatus(index=i, status="ok")
+                    )
+
+            if level == 0:
+                out = self._assemble_window(bounds, chosen, parts, fill_value)
+            else:
+                out = self._assemble_coarse(
+                    bounds, level, parts, fill_value, salvage
+                )
+            out = out.astype(self.dtype, copy=False)
+            if squeeze:
+                out = np.squeeze(out, axis=squeeze)
+            obs.add_counter("store.bytes.served", out.nbytes)
+        if salvage:
+            return DecodeResult(data=out, report=report)
+        return out
+
+    def _read_streams(
+        self,
+        frame: int,
+        misses: list[int],
+        failures: dict[int, tuple[str, str]],
+        salvage: bool,
+    ) -> dict[int, bytes]:
+        """Fetch the compressed streams of cache misses from the shards.
+
+        Misses are grouped per shard and read in offset order (one open
+        and a sequential-ish scan per shard).  In salvage mode an
+        unreadable shard or a short read records a failure for each
+        affected chunk instead of raising.
+        """
+        entries = self._index.entries[frame]
+        by_shard: dict[int, list[int]] = {}
+        for i in misses:
+            by_shard.setdefault(entries[i].shard, []).append(i)
+        out: dict[int, bytes] = {}
+        for shard, idxs in sorted(by_shard.items()):
+            path = self.path / shard_name(shard)
+            try:
+                with open(path, "rb") as f:
+                    if f.read(len(SHARD_MAGIC)) != SHARD_MAGIC:
+                        raise StreamFormatError(
+                            f"{path.name} is not a store shard (bad magic)"
+                        )
+                    for i in sorted(idxs, key=lambda i: entries[i].offset):
+                        f.seek(entries[i].offset)
+                        data = f.read(entries[i].length)
+                        if len(data) != entries[i].length:
+                            raise StreamFormatError(
+                                f"{path.name} truncated: chunk {i} wants "
+                                f"{entries[i].length} bytes at offset "
+                                f"{entries[i].offset}"
+                            )
+                        out[i] = data
+                        obs.add_counter("store.bytes.disk", len(data))
+            except (OSError, StreamFormatError) as exc:
+                if not salvage:
+                    if isinstance(exc, StreamFormatError):
+                        raise
+                    raise StreamFormatError(
+                        f"cannot read shard {shard}: {exc}"
+                    ) from exc
+                for i in idxs:
+                    if i not in out:
+                        failures[i] = (
+                            "decode_error",
+                            f"shard read failed: {type(exc).__name__}: {exc}",
+                        )
+        return out
+
+    def _assemble_window(
+        self,
+        bounds: tuple[tuple[int, int], ...],
+        chosen: list[int],
+        parts: dict[int, np.ndarray],
+        fill_value: float,
+    ) -> np.ndarray:
+        """Stitch level-0 chunk overlaps into the window array."""
+        out = np.empty(tuple(hi - lo for lo, hi in bounds), dtype=np.float64)
+        for i in chosen:
+            chunk = self._index.chunks[i]
+            src = tuple(
+                slice(max(a, lo) - a, min(b, hi) - a)
+                for (a, b), (lo, hi) in zip(chunk.bounds, bounds)
+            )
+            dst = tuple(
+                slice(max(a, lo) - lo, min(b, hi) - lo)
+                for (a, b), (lo, hi) in zip(chunk.bounds, bounds)
+            )
+            part = parts.get(i)
+            if part is None:
+                out[dst] = fill_value
+            else:
+                out[dst] = part[src]
+        return out
+
+    def _assemble_coarse(
+        self,
+        bounds: tuple[tuple[int, int], ...],
+        level: int,
+        parts: dict[int, np.ndarray],
+        fill_value: float,
+        salvage: bool,
+    ) -> np.ndarray:
+        """Tile per-chunk coarse boxes over the covering grid region."""
+        covered = [
+            [p for p, (a, b) in enumerate(runs) if a < hi and lo < b]
+            for runs, (lo, hi) in zip(self._axis_runs, bounds)
+        ]
+        levels_cap = self._index.levels
+        extents = [
+            [
+                _coarse_extent(b - a, level, levels_cap)
+                for p in pos
+                for (a, b) in (self._axis_runs[ax][p],)
+            ]
+            for ax, pos in enumerate(covered)
+        ]
+        offsets = [np.concatenate(([0], np.cumsum(ext))).astype(int) for ext in extents]
+        out = np.empty(tuple(int(off[-1]) for off in offsets), dtype=np.float64)
+        if out.size == 0:
+            return out
+        from itertools import product
+
+        for cell in product(*(range(len(pos)) for pos in covered)):
+            pos = tuple(covered[ax][cell[ax]] for ax in range(self.rank))
+            i = int(self._grid[pos])
+            dst = tuple(
+                slice(int(offsets[ax][cell[ax]]), int(offsets[ax][cell[ax] + 1]))
+                for ax in range(self.rank)
+            )
+            part = parts.get(i)
+            if part is None:
+                if not salvage:
+                    raise StreamFormatError(f"chunk {i} missing from coarse assembly")
+                out[dst] = fill_value
+            else:
+                out[dst] = part
+        return out
+
+    # -- introspection -----------------------------------------------------
+
+    def info(self) -> dict:
+        """Summary dict for tooling (the CLI's ``store info``)."""
+        index = self._index
+        shard_sizes = []
+        for s in range(index.n_shards):
+            p = self.path / shard_name(s)
+            shard_sizes.append(p.stat().st_size if p.exists() else None)
+        return {
+            "path": str(self.path),
+            "shape": index.shape,
+            "dtype": str(index.dtype),
+            "mode_code": index.mode_code,
+            "wavelet": index.wavelet,
+            "levels": index.levels,
+            "n_frames": index.n_frames,
+            "n_chunks": index.n_chunks,
+            "n_shards": index.n_shards,
+            "max_level": self._max_level,
+            "payload_bytes": index.payload_bytes,
+            "shard_sizes": shard_sizes,
+            "cache": self.cache.stats(),
+        }
+
+
+def open_store(
+    path: str | os.PathLike,
+    *,
+    cache_bytes: int = DEFAULT_CACHE_BYTES,
+    executor: str = "serial",
+    workers: int | None = None,
+) -> CompressedArray:
+    """Open a store directory as a lazy :class:`CompressedArray`.
+
+    ``cache_bytes`` budgets the decoded-chunk LRU cache (0 disables
+    caching); ``executor``/``workers`` set the default parallelism for
+    cache-miss decoding (overridable per read).
+    """
+    return CompressedArray(
+        path, cache_bytes=cache_bytes, executor=executor, workers=workers
+    )

@@ -30,6 +30,7 @@ PACKAGES = [
     "repro.datasets",
     "repro.analysis",
     "repro.obs",
+    "repro.store",
 ]
 
 
@@ -74,7 +75,8 @@ class TestRepoDocuments:
         "name",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
          "docs/algorithms.md", "docs/architecture.md", "docs/file-format.md",
-         "docs/api.md", "docs/observability.md", "benchmarks/README.md"],
+         "docs/api.md", "docs/observability.md", "docs/store.md",
+         "benchmarks/README.md"],
     )
     def test_document_exists_and_substantial(self, name):
         path = ROOT / name

@@ -156,3 +156,78 @@ class TestInverseToLevel:
         c, plan = forward(x)
         with pytest.raises(InvalidArgumentError):
             inverse_to_level(c[:8], plan, 1)
+
+
+class TestProgressiveHardening:
+    """Satellite of the store PR: progressive payload parsing runs behind
+    the decode_guard/checked_shape trust boundary — malformed payloads
+    surface as ReproError subclasses, never raw struct/numpy errors."""
+
+    def test_truncate_rejects_garbage_payload(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            truncate(b"not a container at all", 0.5)
+
+    def test_truncate_rejects_corrupted_chunk_stream(self, payload):
+        from repro.core.container import build_container, parse_container
+        from repro.errors import StreamFormatError
+
+        p = parse_container(payload)
+        bad = build_container(
+            p.rank, p.dtype, p.mode_code, p.shape, p.chunks,
+            [b"\x00\x01\x02\x03" * 10],
+        )
+        with pytest.raises(StreamFormatError):
+            truncate(bad, 0.5)
+
+    def test_multires_rejects_corrupted_chunk_stream(self, payload):
+        from repro.core.container import build_container, parse_container
+        from repro.errors import StreamFormatError
+
+        p = parse_container(payload)
+        bad = build_container(
+            p.rank, p.dtype, p.mode_code, p.shape, p.chunks,
+            [b"\xff" * 64],
+        )
+        with pytest.raises(StreamFormatError):
+            decompress_multires(bad, 1)
+
+    def test_split_chunk_stream_validates_sections(self, payload):
+        from repro import lossless
+        from repro.bitstream import HEADER_SIZE, ChunkParams
+        from repro.core.container import parse_container
+        from repro.core.progressive import split_chunk_stream
+        from repro.errors import StreamFormatError
+
+        raw = lossless.decompress(parse_container(payload).streams[0])
+        header, params, speck, outliers = split_chunk_stream(raw)
+        assert len(speck) == header.speck_nbytes
+        assert len(outliers) == params.outlier_nbytes
+        # truncating the body below the section table must be caught
+        with pytest.raises(StreamFormatError):
+            split_chunk_stream(raw[: HEADER_SIZE + ChunkParams.SIZE + 1])
+
+    def test_truncate_chunk_stream_roundtrip(self, payload):
+        from repro import lossless
+        from repro.core.pipeline import decompress_chunk
+        from repro.core.container import parse_container
+        from repro.core.progressive import truncate_chunk_stream
+
+        parsed = parse_container(payload)
+        raw = lossless.decompress(parsed.streams[0])
+        cut = truncate_chunk_stream(raw, 0.25)
+        assert len(cut) < len(raw)
+        out = decompress_chunk(cut, rank=3, expected_shape=parsed.shape)
+        assert out.shape == parsed.shape
+        assert np.isfinite(out).all()
+
+    def test_truncate_chunk_stream_invalid_fraction(self, payload):
+        from repro import lossless
+        from repro.core.container import parse_container
+        from repro.core.progressive import truncate_chunk_stream
+
+        raw = lossless.decompress(parse_container(payload).streams[0])
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(InvalidArgumentError):
+                truncate_chunk_stream(raw, bad)

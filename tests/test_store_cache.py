@@ -1,0 +1,171 @@
+"""Decoded-chunk cache: LRU semantics, byte budget, and thread safety.
+
+Pins the two properties the store's warm path rests on:
+
+* the cache never holds more than its byte budget, even while a thread
+  pool hammers overlapping windows through one shared cache;
+* the obs counters reconcile exactly — every requested chunk is either a
+  cache hit or a miss, and every miss is decoded exactly once per read
+  (``hits + misses == requested`` and ``misses == decoded``), under
+  concurrency included.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import decompress, obs
+from repro.core.modes import PweMode
+from repro.errors import InvalidArgumentError
+from repro.store import DecodedChunkCache, open_store, write_store
+
+
+def _arr(n, fill):
+    return np.full(n // 8, float(fill), dtype=np.float64)  # nbytes == n
+
+
+class TestLruSemantics:
+    def test_hit_miss_and_readonly(self):
+        cache = DecodedChunkCache(1024)
+        assert cache.get("a") is None
+        a = _arr(256, 1.0)
+        assert cache.put("a", a)
+        hit = cache.get("a")
+        assert hit is a and not hit.flags.writeable
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_budget_enforced_lru_order(self):
+        cache = DecodedChunkCache(1024)
+        for key in "abcd":  # 4 x 256 bytes == budget exactly
+            cache.put(key, _arr(256, 0))
+        assert len(cache) == 4 and cache.nbytes == 1024
+        cache.get("a")  # refresh "a" -> "b" is now LRU
+        cache.put("e", _arr(256, 0))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.nbytes <= 1024
+        assert cache.stats()["evictions"] == 1
+
+    def test_replace_same_key_accounts_bytes(self):
+        cache = DecodedChunkCache(1024)
+        cache.put("a", _arr(256, 0))
+        cache.put("a", _arr(512, 0))
+        assert len(cache) == 1 and cache.nbytes == 512
+
+    def test_oversized_entry_rejected(self):
+        cache = DecodedChunkCache(100)
+        assert not cache.put("big", _arr(256, 0))
+        assert len(cache) == 0
+
+    def test_disabled_cache(self):
+        cache = DecodedChunkCache(0)
+        assert not cache.enabled
+        assert not cache.put("a", _arr(256, 0))
+        assert cache.get("a") is None
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            DecodedChunkCache(-1)
+
+    def test_clear(self):
+        cache = DecodedChunkCache(1024)
+        cache.put("a", _arr(256, 0))
+        cache.clear()
+        assert len(cache) == 0 and cache.nbytes == 0
+
+
+@pytest.fixture(scope="module")
+def small_store(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cache_store") / "st"
+    rng = np.random.default_rng(9)
+    x, y, z = np.meshgrid(*[np.linspace(0, 2, 32)] * 3, indexing="ij")
+    data = (np.sin(3 * x) * np.cos(2 * y) + 0.2 * z).astype(np.float32)
+    result = write_store(path, data, PweMode(1e-3), chunk_shape=8)
+    return path, decompress(result.payload)
+
+
+class TestConcurrentReaders:
+    def test_budget_respected_under_hammering(self, small_store):
+        path, full = small_store
+        # Budget holds ~4 decoded 8^3 float64 chunks (4 KiB each) while
+        # the store has 64 — constant eviction pressure.
+        budget = 4 * 8**3 * 8
+        arr = open_store(path, cache_bytes=budget)
+        rng = np.random.default_rng(0)
+        windows = []
+        for _ in range(40):
+            lo = rng.integers(0, 24, size=3)
+            hi = lo + rng.integers(4, 9, size=3)
+            windows.append(tuple(slice(int(a), int(b)) for a, b in zip(lo, hi)))
+        over_budget = []
+        errors = []
+        stop = threading.Event()
+
+        def watch():
+            while not stop.is_set():
+                n = arr.cache.nbytes
+                if n > budget:
+                    over_budget.append(n)
+
+        def reader(seed):
+            r = np.random.default_rng(seed)
+            try:
+                for _ in range(12):
+                    w = windows[int(r.integers(0, len(windows)))]
+                    if not np.array_equal(arr.read_window(w), full[w]):
+                        errors.append(f"mismatch on {w}")
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(repr(exc))
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(reader, range(8)))
+        stop.set()
+        watcher.join()
+        assert not errors
+        assert not over_budget, f"cache exceeded budget: {max(over_budget)}"
+        assert arr.cache.nbytes <= budget
+        assert arr.cache.stats()["evictions"] > 0
+
+    def test_counters_reconcile_under_concurrency(self, small_store):
+        path, full = small_store
+        arr = open_store(path)
+        windows = [
+            (slice(0, 16), slice(0, 16), slice(0, 16)),
+            (slice(8, 24), slice(8, 24), slice(8, 24)),
+            (slice(4, 28), slice(0, 8), slice(16, 32)),
+            (slice(0, 32), slice(24, 32), slice(0, 8)),
+        ]
+        with obs.trace("t") as tracer:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                results = list(
+                    pool.map(lambda w: arr.read_window(w), windows * 3)
+                )
+        for w, got in zip(windows * 3, results):
+            assert np.array_equal(got, full[w])
+        c = tracer.report().counters
+        requested = c["store.chunks.requested"]
+        hits = c.get("store.cache.hits", 0)
+        misses = c.get("store.cache.misses", 0)
+        decoded = c.get("store.chunks.decoded", 0)
+        assert hits + misses == requested
+        assert misses == decoded
+        # repeat traffic must have produced real hits
+        assert hits > 0
+
+    def test_cache_disabled_never_decodes_stale(self, small_store):
+        path, full = small_store
+        arr = open_store(path, cache_bytes=0)
+        with obs.trace("t") as tracer:
+            arr.read_window((slice(0, 8),) * 3)
+            arr.read_window((slice(0, 8),) * 3)
+        c = tracer.report().counters
+        assert c.get("store.cache.hits", 0) == 0
+        assert c["store.cache.misses"] == c["store.chunks.requested"] == 2
+        assert c["store.chunks.decoded"] == 2
