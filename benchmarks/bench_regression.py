@@ -76,6 +76,15 @@ CONFIG = {
 HEADLINE_CASE = "sperr_multichunk"
 HEADLINE_MIN_SPEEDUP = 1.5
 
+#: Chunk-count scaling series: the same 32^3 chunk shape at 1, 8 and 64
+#: chunks (32^3, 64^3 and 128^3 volumes).  The batched executor exists
+#: to keep per-chunk cost flat as the chunk count grows, so the gate
+#: asserts exactly that (see ``check_regression.check_chunk_scaling``).
+SCALING_CHUNK_COUNTS = (1, 8, 64)
+#: Per-chunk compress time at 64 chunks must stay within this factor of
+#: the single-chunk time.
+SCALING_MAX_PER_CHUNK_RATIO = 1.5
+
 
 def _field(shape: tuple[int, ...]) -> np.ndarray:
     return get_field(CONFIG["field"], shape, seed=CONFIG["seed"])
@@ -194,6 +203,51 @@ def measure(repeats: int = 3, cases: dict | None = None) -> dict:
             f"decompress {out[name]['decompress_s'] * 1e3:8.1f} ms   "
             f"{out[name]['payload_bytes']:9d} B"
         )
+    return out
+
+
+def measure_chunk_scaling(repeats: int = 3) -> dict:
+    """Per-chunk compress time at 1 / 8 / 64 chunks of the 32^3 shape.
+
+    Every point compresses a cube of ``count`` 32^3 chunks with the same
+    compressor configuration as the headline case, after one warm-up
+    pass, and records the median wall time and its per-chunk share.  The
+    summary key ``per_chunk_ratio_64_vs_1`` is what the gate reads: with
+    the stacked-lane batch executor the 64-chunk per-chunk time should
+    sit at (or below) the single-chunk time, since chunk fan-out no
+    longer re-enters the interpreter per stage per chunk.
+    """
+    out = {}
+    chunk = CONFIG["chunk"]
+    for count in SCALING_CHUNK_COUNTS:
+        side = chunk * round(count ** (1.0 / 3.0))
+        data = _field((side,) * 3)
+        mode = _pwe(data)
+        comp = SperrCompressor(chunk_shape=chunk)
+        payload = comp.compress(data, mode)  # warm-up: plan caches etc.
+        times = []
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            payload = comp.compress(data, mode)
+            times.append(time.perf_counter() - t0)
+        med = statistics.median(times)
+        out[str(count)] = {
+            "shape": [side] * 3,
+            "compress_s": med,
+            "per_chunk_s": med / count,
+            "payload_bytes": len(payload),
+            "repeats": repeats,
+        }
+        print(
+            f"  scaling/{count:3d} x 32^3   compress {med * 1e3:8.1f} ms   "
+            f"{med / count * 1e3:6.1f} ms/chunk"
+        )
+    ratio = out["64"]["per_chunk_s"] / out["1"]["per_chunk_s"]
+    out["per_chunk_ratio_64_vs_1"] = round(ratio, 3)
+    print(
+        f"  scaling per-chunk ratio (64 vs 1): {ratio:.2f}x "
+        f"(gate <= {SCALING_MAX_PER_CHUNK_RATIO}x)"
+    )
     return out
 
 
@@ -384,6 +438,7 @@ def run(argv: list[str] | None = None) -> int:
 
     print(f"bench_regression: {repeats} repeat(s) per case")
     timings = measure(repeats)
+    scaling = measure_chunk_scaling(repeats)
     micro = measure_lossless_micro(repeats)
     store_micro = measure_store_micro(repeats)
 
@@ -409,6 +464,7 @@ def run(argv: list[str] | None = None) -> int:
                 "cpu_count": os.cpu_count(),
             },
             "current": block,
+            "chunk_scaling": scaling,
             "lossless_micro": micro,
             "store_micro": store_micro,
             "plan_cache": _plan_cache_stats(),

@@ -36,7 +36,9 @@ from bench_regression import (  # noqa: E402
     BENCH_FILE,
     HEADLINE_CASE,
     HEADLINE_MIN_SPEEDUP,
+    SCALING_MAX_PER_CHUNK_RATIO,
     measure,
+    measure_chunk_scaling,
     measure_lossless_micro,
 )
 
@@ -188,8 +190,59 @@ def check_trace_consistency(timings: dict) -> list[str]:
     return problems
 
 
+def check_chunk_scaling(*, quick: bool = False) -> list[str]:
+    """Gate the chunk-count scaling series (1 / 8 / 64 chunks of 32^3).
+
+    The batched executor's contract is that per-chunk compress cost
+    stays flat as the chunk count grows; the gate fails when the
+    64-chunk per-chunk time exceeds
+    :data:`~bench_regression.SCALING_MAX_PER_CHUNK_RATIO` times the
+    single-chunk time.  A tripped run is re-measured once so a load
+    spike does not read as a scaling regression.
+    """
+    repeats = 1 if quick else 3
+    entry = measure_chunk_scaling(repeats=repeats)
+    ratio = entry["per_chunk_ratio_64_vs_1"]
+    if ratio > SCALING_MAX_PER_CHUNK_RATIO:
+        print("chunk-scaling gate tripped - re-measuring once")
+        retry = measure_chunk_scaling(repeats=repeats)
+        ratio = min(ratio, retry["per_chunk_ratio_64_vs_1"])
+    if ratio > SCALING_MAX_PER_CHUNK_RATIO:
+        return [
+            f"chunk scaling: per-chunk compress at 64 chunks is {ratio:.2f}x "
+            f"the single-chunk time (cap {SCALING_MAX_PER_CHUNK_RATIO:.1f}x)"
+        ]
+    return []
+
+
 #: Throughput keys gated in the lossless micro table (higher is better).
 _MICRO_KEYS = ("encode_MBps", "decode_MBps")
+
+#: Absolute throughput floors for the slowest lossless micros (the
+#: relative gate below only catches drift against the last recorded run;
+#: these pin the targets themselves).
+MICRO_FLOORS = {
+    "lz77": {"encode_MBps": 5.0},
+    "huffman": {"decode_MBps": 20.0},
+}
+
+
+def check_micro_floors(current: dict) -> list[str]:
+    """Enforce the absolute MB/s floors in :data:`MICRO_FLOORS`."""
+    problems = []
+    for method, floors in sorted(MICRO_FLOORS.items()):
+        entry = current.get(method)
+        if entry is None:
+            problems.append(f"lossless/{method}: missing from current run")
+            continue
+        for key, floor in sorted(floors.items()):
+            val = entry.get(key, 0.0)
+            if val < floor:
+                problems.append(
+                    f"lossless/{method}.{key}: {val:.1f} MB/s is below the "
+                    f"{floor:.0f} MB/s floor"
+                )
+    return problems
 
 
 def check_lossless_micro(
@@ -320,17 +373,21 @@ def run_gate(*, quick: bool = False, threshold: float = DEFAULT_THRESHOLD) -> li
         problems = judge(timings)
 
     micro_ref = doc.get("lossless_micro", {})
+    micro = measure_lossless_micro(repeats=repeats)
+    micro_problems = check_micro_floors(micro)
     if micro_ref:
-        micro = measure_lossless_micro(repeats=repeats)
-        micro_problems = check_lossless_micro(micro_ref, micro, threshold=threshold)
-        if micro_problems:
-            print("lossless micro gate tripped - re-measuring once")
-            micro = _merge_best_micro(micro, measure_lossless_micro(repeats=repeats))
-            micro_problems = check_lossless_micro(
+        micro_problems += check_lossless_micro(micro_ref, micro, threshold=threshold)
+    if micro_problems:
+        print("lossless micro gate tripped - re-measuring once")
+        micro = _merge_best_micro(micro, measure_lossless_micro(repeats=repeats))
+        micro_problems = check_micro_floors(micro)
+        if micro_ref:
+            micro_problems += check_lossless_micro(
                 micro_ref, micro, threshold=threshold
             )
-        problems += micro_problems
+    problems += micro_problems
 
+    problems += check_chunk_scaling(quick=quick)
     problems += check_trace_consistency(timings)
     problems += check_container_overhead()
     problems += check_store_micro(quick=quick)

@@ -112,14 +112,17 @@ class ChunkedCompressor(Compressor):
             chunks=len(chunks),
             executor=self.executor,
         ):
-            payloads = map_chunk_arrays(
-                _compress_part,
-                data,
-                chunks,
-                args=(self.inner, mode),
-                executor=self.executor,
-                workers=self.workers,
-            )
+            if self._can_batch(mode, chunks):
+                payloads = self._compress_parts_batched(data, chunks, mode)
+            else:
+                payloads = map_chunk_arrays(
+                    _compress_part,
+                    data,
+                    chunks,
+                    args=(self.inner, mode),
+                    executor=self.executor,
+                    workers=self.workers,
+                )
         add_counter("chunked.bytes_out", sum(len(p) for p in payloads))
         head = bytearray()
         head += _MAGIC_V2
@@ -136,6 +139,64 @@ class ChunkedCompressor(Compressor):
             head += struct.pack("<I", zlib.crc32(p))
         struct.pack_into("<I", head, _HEADER_CRC_OFFSET, zlib.crc32(bytes(head)))
         return bytes(head) + b"".join(payloads)
+
+    def _can_batch(self, mode: Mode, chunks: list[Chunk]) -> bool:
+        """Whether the stacked-kernel path applies to this compress call.
+
+        Only the SPERR inner compressor (itself un-chunked, so each tile
+        is one SPERR chunk) has batched kernels, and only for the PWE and
+        size modes; everything else keeps the generic per-tile fan-out.
+        """
+        from ..core.modes import PweMode, SizeMode
+        from .sperr import SperrCompressor
+
+        return (
+            self.executor == "batch"
+            and len(chunks) > 1
+            and isinstance(self.inner, SperrCompressor)
+            and self.inner.chunk_shape is None
+            and isinstance(mode, (PweMode, SizeMode))
+        )
+
+    def _compress_parts_batched(
+        self, data: np.ndarray, chunks: list[Chunk], mode: Mode
+    ) -> list[bytes]:
+        """Compress all tiles through the shape-grouped stacked kernels.
+
+        Each tile's payload is the same single-chunk SPERR container that
+        ``inner.compress(tile, mode)`` would build, byte for byte: the
+        batched kernel output is byte-identical to the serial chunk
+        stream, and the framing below mirrors ``core.compress`` with
+        ``chunk_shape=None``.
+        """
+        from ..core.batch import compress_chunks_batched
+        from ..core.container import build_container
+        from ..core.modes import PweMode
+
+        inner = self.inner
+        results = compress_chunks_batched(
+            data,
+            chunks,
+            mode,
+            wavelet=inner.wavelet,
+            levels=None,
+            lossless_method=inner.lossless_method,
+        )
+        mode_code = 0 if isinstance(mode, PweMode) else 1
+        payloads = []
+        for chunk, (packed, report) in zip(chunks, results):
+            payload = build_container(
+                len(chunk.shape),
+                np.dtype(np.float64),
+                mode_code,
+                chunk.shape,
+                plan_chunks(chunk.shape, None),
+                [packed],
+            )
+            add_counter("container.bytes", len(payload))
+            payloads.append(payload)
+            inner.last_reports = [report]
+        return payloads
 
     def _parse(
         self, payload: bytes

@@ -24,7 +24,7 @@ class SperrCompressor(Compressor):
         chunk_shape: int | tuple[int, ...] | None = None,
         wavelet: str = "cdf97",
         lossless_method: str = "auto",
-        executor: str = "serial",
+        executor: str = "batch",
         workers: int | None = None,
     ) -> None:
         self.chunk_shape = chunk_shape

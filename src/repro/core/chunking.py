@@ -19,7 +19,14 @@ import numpy as np
 
 from ..errors import InvalidArgumentError
 
-__all__ = ["Chunk", "plan_chunks", "split", "assemble", "DEFAULT_CHUNK"]
+__all__ = [
+    "Chunk",
+    "plan_chunks",
+    "split",
+    "assemble",
+    "group_by_shape",
+    "DEFAULT_CHUNK",
+]
 
 #: Default per-axis chunk extent.
 DEFAULT_CHUNK = 64
@@ -86,6 +93,20 @@ def plan_chunks(
 
     rec(0, [])
     return chunks
+
+
+def group_by_shape(chunks: list[Chunk]) -> list[tuple[tuple[int, ...], list[int]]]:
+    """Group chunk indices by chunk shape, first-seen shape order.
+
+    The batched execution mode stacks every group of same-shaped chunks
+    into one ``(n, *shape)`` array; interior chunks of a tiled volume all
+    share a shape, so one volume typically produces one large group plus
+    a few small edge-remainder groups.
+    """
+    groups: dict[tuple[int, ...], list[int]] = {}
+    for i, chunk in enumerate(chunks):
+        groups.setdefault(chunk.shape, []).append(i)
+    return list(groups.items())
 
 
 def split(data: np.ndarray, chunks: list[Chunk]) -> list[np.ndarray]:

@@ -173,7 +173,7 @@ def compress(
     wavelet: str = "cdf97",
     levels: int | None = None,
     lossless_method: str = "auto",
-    executor: str = "serial",
+    executor: str = "batch",
     workers: int | None = None,
     trace: bool = False,
 ) -> CompressionResult:
@@ -181,6 +181,9 @@ def compress(
 
     ``chunk_shape=None`` compresses the volume as a single chunk;
     an int or tuple tiles it for parallel execution (Sec. III-D).
+    The default ``batch`` executor runs same-shaped chunks through
+    stacked numpy kernels in-process (byte-identical to ``serial``);
+    ``thread``/``process`` fan chunks out across workers instead.
     ``trace=True`` collects a per-stage span trace for this call and
     attaches it as ``result.trace``; when an ambient
     :class:`~repro.obs.trace` is already active, spans flow to it
@@ -261,17 +264,33 @@ def _compress_impl(
         chunks=len(chunks),
         executor=executor,
     ):
-        # Chunks are sliced inside the executor: the process path ships
-        # the volume through shared memory once instead of pickling every
-        # chunk.
-        results = map_chunk_arrays(
-            _compress_chunk_job,
-            data,
-            chunks,
-            args=(mode, wavelet, levels, lossless_method),
-            executor=executor,
-            workers=workers,
-        )
+        if executor == "batch" and len(chunks) > 1 and not isinstance(mode, PsnrMode):
+            # Same-shaped chunks traverse each stage as one stacked numpy
+            # call; output streams are byte-identical to the serial loop.
+            from .batch import compress_chunks_batched
+
+            results = compress_chunks_batched(
+                data,
+                chunks,
+                mode,
+                wavelet=wavelet,
+                levels=levels,
+                lossless_method=lossless_method,
+            )
+        else:
+            # Chunks are sliced inside the executor: the process path
+            # ships the volume through shared memory once instead of
+            # pickling every chunk.  ``batch`` with a single chunk (or
+            # PSNR mode, whose per-chunk calibration is sequential)
+            # degrades to the serial reference loop.
+            results = map_chunk_arrays(
+                _compress_chunk_job,
+                data,
+                chunks,
+                args=(mode, wavelet, levels, lossless_method),
+                executor=executor,
+                workers=workers,
+            )
         streams = [packed for packed, _ in results]
         reports = [report for _, report in results]
 

@@ -4,11 +4,15 @@ Real SPERR parallelizes with OpenMP threads over chunks (paper
 Sec. III-D).  The Python reproduction offers the same embarrassingly
 parallel structure with three executors:
 
-* ``serial``  — deterministic in-process loop (default, and the baseline
-  for the strong-scaling study);
+* ``serial``  — deterministic in-process loop (the baseline for the
+  strong-scaling study);
 * ``thread``  — ``concurrent.futures.ThreadPoolExecutor``; numpy releases
   the GIL in the heavy kernels so threads do overlap;
-* ``process`` — ``ProcessPoolExecutor`` for full core isolation.
+* ``process`` — ``ProcessPoolExecutor`` for full core isolation;
+* ``batch``   — in-process stacked-lane kernels over same-shaped chunks
+  (see :mod:`repro.core.batch`).  Only the compression fan-out has a
+  dedicated batched implementation; everywhere else ``batch`` degrades
+  to the serial loop, so it is always safe to request.
 
 Two throughput mechanisms back the executors:
 
@@ -59,7 +63,7 @@ __all__ = [
 T = TypeVar("T")
 R = TypeVar("R")
 
-EXECUTORS = ("serial", "thread", "process")
+EXECUTORS = ("serial", "thread", "process", "batch")
 
 _POOLS: dict[tuple[str, int], Any] = {}
 _POOL_LOCK = threading.Lock()
@@ -141,7 +145,7 @@ def chunk_map(
         )
     if workers is not None and workers < 1:
         raise InvalidArgumentError("workers must be at least 1")
-    if executor == "serial" or len(items) <= 1 or (workers or 2) == 1:
+    if executor in ("serial", "batch") or len(items) <= 1 or (workers or 2) == 1:
         return [func(item) for item in items]
     n = min(workers or default_workers(), len(items))
     if executor == "process":
@@ -186,7 +190,7 @@ def robust_chunk_map(
     if workers is not None and workers < 1:
         raise InvalidArgumentError("workers must be at least 1")
     notes: list[str] = []
-    if executor == "serial" or len(items) <= 1 or (workers or 2) == 1:
+    if executor in ("serial", "batch") or len(items) <= 1 or (workers or 2) == 1:
         return [func(item) for item in items], notes
 
     traced = False

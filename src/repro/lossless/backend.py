@@ -72,24 +72,46 @@ def _entropy_bits_per_byte(counts: np.ndarray, n: int) -> float:
     return float(-(p * np.log2(p)).sum())
 
 
+#: Top bit of the symbol-count header field: the section carries a
+#: segment index (``uint16`` bit length per full segment) between the
+#: code book and the payload, so the decoder can run segments as
+#: parallel lanes.  Unflagged sections keep the original layout and the
+#: serial decode walk, so old payloads stay decodable byte-for-byte.
+_HUFFMAN_INDEX_FLAG = 1 << 63
+#: Sections with at least this many symbols are packed with the index
+#: (the ~0.5-1.5 % index overhead only pays off once the serial walk
+#: would dominate decode time).
+_HUFFMAN_INDEX_MIN = 1 << 15
+
+
 def _huffman_pack(data: bytes, arr: np.ndarray, freqs: np.ndarray,
                   code: huffman.HuffmanCode) -> bytes:
     payload, nbits = huffman.encode(arr, code)
     book = huffman.serialize_code(code)
-    return struct.pack("<QQ", len(data), nbits) + book + payload
+    n = len(data)
+    if n >= _HUFFMAN_INDEX_MIN:
+        index = huffman.segment_bits(arr, code)[:-1].astype("<u2").tobytes()
+        header = struct.pack("<QQ", n | _HUFFMAN_INDEX_FLAG, nbits)
+        return header + book + index + payload
+    return struct.pack("<QQ", n, nbits) + book + payload
 
 
 def _huffman_packed_size(n: int, freqs: np.ndarray, code: huffman.HuffmanCode) -> int:
     """Exact byte size :func:`_huffman_pack` would produce, without packing."""
     nbits = huffman.encoded_nbits(freqs, code)
     book = len(huffman.serialize_code(code))
-    return 16 + book + ((nbits + 7) >> 3)
+    index = 0
+    if n >= _HUFFMAN_INDEX_MIN:
+        index = 2 * (-(-n // huffman.SEGMENT_SYMBOLS) - 1)
+    return 16 + book + index + ((nbits + 7) >> 3)
 
 
 def _huffman_unpack(data: bytes) -> bytes:
     if len(data) < 16:
         raise StreamFormatError("truncated huffman section")
-    n, nbits = struct.unpack("<QQ", data[:16])
+    n_raw, nbits = struct.unpack("<QQ", data[:16])
+    indexed = bool(n_raw & _HUFFMAN_INDEX_FLAG)
+    n = n_raw & (_HUFFMAN_INDEX_FLAG - 1)
     # Both counts are untrusted: every Huffman code spends at least one
     # bit per symbol, and no more bits can be valid than the section
     # holds, so anything outside those bounds is corruption — reject it
@@ -103,7 +125,15 @@ def _huffman_unpack(data: bytes) -> bytes:
             f"huffman section declares {n} symbols in {nbits} bits"
         )
     code, consumed = huffman.deserialize_code(data[16:])
-    symbols = huffman.decode(data[16 + consumed :], nbits, n, code)
+    body = data[16 + consumed :]
+    if indexed:
+        isize = 2 * (-(-n // huffman.SEGMENT_SYMBOLS) - 1) if n else 0
+        if len(body) < isize:
+            raise StreamFormatError("truncated huffman segment index")
+        seg_bits = np.frombuffer(body[:isize], dtype="<u2")
+        symbols = huffman.decode_segmented(body[isize:], nbits, n, code, seg_bits)
+    else:
+        symbols = huffman.decode(body, nbits, n, code)
     return symbols.astype(np.uint8).tobytes()
 
 

@@ -20,7 +20,6 @@ cached in :mod:`repro.core.plans` keyed by the length table.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,9 +27,23 @@ import numpy as np
 from ..errors import InvalidArgumentError, StreamFormatError
 from . import bitpack
 
-__all__ = ["HuffmanCode", "build_code", "encode", "decode", "encoded_nbits"]
+__all__ = [
+    "HuffmanCode",
+    "build_code",
+    "encode",
+    "decode",
+    "decode_segmented",
+    "segment_bits",
+    "encoded_nbits",
+    "SEGMENT_SYMBOLS",
+]
 
 _MAX_CODE_LEN = 24  # encoder clamps to this; the decode window table is 2**max_len entries
+
+#: Symbols per segment in the indexed stream layout (see
+#: ``backend._huffman_pack``).  512 symbols of at most ``_MAX_CODE_LEN``
+#: bits keep every segment's bit length within a ``uint16`` index entry.
+SEGMENT_SYMBOLS = 512
 
 #: Decode tables are memoized in ``core.plans`` only up to this code
 #: length (a 2**16-entry table is 512 KiB; anything longer is rebuilt per
@@ -75,22 +88,45 @@ def _huffman_lengths(freqs: np.ndarray) -> np.ndarray:
         lengths[used[0]] = 1
         return lengths
 
-    # Heap of (freq, tiebreak, node). Leaves are ints, internal nodes lists
-    # of leaf symbols.
-    heap: list[tuple[int, int, list[int]]] = [
-        (int(freqs[s]), int(s), [int(s)]) for s in used
-    ]
-    heapq.heapify(heap)
-    tiebreak = n
-    while len(heap) > 1:
-        fa, _, a = heapq.heappop(heap)
-        fb, _, b = heapq.heappop(heap)
-        for s in a:
-            lengths[s] += 1
-        for s in b:
-            lengths[s] += 1
-        heapq.heappush(heap, (fa + fb, tiebreak, a + b))
-        tiebreak += 1
+    # Two-queue merge: leaves sorted by (freq, symbol); merged nodes come
+    # out in creation order with non-decreasing frequency, so a FIFO holds
+    # them sorted.  A heap of (freq, tiebreak) nodes — leaf tiebreaks being
+    # symbols in [0, n), merged tiebreaks counting up from n — pops the
+    # same sequence: a leaf beats a merged node of equal frequency and
+    # equal-frequency merged nodes pop in creation order.  Tracking parent
+    # pointers instead of merging leaf lists keeps each step O(1).
+    order = used[np.argsort(freqs[used], kind="stable")]
+    leaf_freqs = freqs[order].tolist()
+    n_leaves = len(leaf_freqs)
+    node_freqs: list[int] = []
+    parent = [0] * (2 * n_leaves - 1)
+    li = mi = 0
+
+    def _take() -> tuple[int, int]:
+        nonlocal li, mi
+        if mi >= len(node_freqs) or (
+            li < n_leaves and leaf_freqs[li] <= node_freqs[mi]
+        ):
+            li += 1
+            return leaf_freqs[li - 1], li - 1
+        mi += 1
+        return node_freqs[mi - 1], n_leaves + mi - 1
+
+    for _ in range(n_leaves - 1):
+        fa, a = _take()
+        fb, b = _take()
+        node = n_leaves + len(node_freqs)
+        parent[a] = node
+        parent[b] = node
+        node_freqs.append(fa + fb)
+
+    # Depth of each node = 1 + depth of its parent; parents always have
+    # higher indices, so one reverse sweep resolves every leaf.
+    depth = [0] * (2 * n_leaves - 1)
+    root = 2 * n_leaves - 2
+    for node in range(root - 1, -1, -1):
+        depth[node] = depth[parent[node]] + 1
+    lengths[order] = np.asarray(depth[:n_leaves], dtype=np.int64).astype(np.uint8)
 
     if lengths.max() > _MAX_CODE_LEN:
         lengths = _limit_lengths(lengths, _MAX_CODE_LEN)
@@ -248,6 +284,86 @@ def decode(data: bytes, nbits: int, nsymbols: int, code: HuffmanCode) -> np.ndar
     if out.min(initial=0) < 0:
         raise StreamFormatError("invalid huffman code word")
     return out
+
+
+def segment_bits(symbols: np.ndarray, code: HuffmanCode) -> np.ndarray:
+    """Encoded bit length of each :data:`SEGMENT_SYMBOLS`-symbol block.
+
+    This is the segment index the decoder uses to start every segment as
+    an independent lane; it prices to two bytes per segment in the packed
+    stream.
+    """
+    lens = code.lengths[symbols].astype(np.int64)
+    starts = np.arange(0, symbols.size, SEGMENT_SYMBOLS, dtype=np.int64)
+    return np.add.reduceat(lens, starts)
+
+
+def decode_segmented(
+    data: bytes, nbits: int, nsymbols: int, code: HuffmanCode, seg_bits: np.ndarray
+) -> np.ndarray:
+    """Decode a segment-indexed Huffman stream (see ``backend``).
+
+    ``seg_bits`` holds the bit length of every segment but the last, so
+    each segment's start offset is known up front and all segments decode
+    together as parallel lanes: the data-dependent chain walk becomes
+    :data:`SEGMENT_SYMBOLS` vectorized table-gather steps across every
+    lane instead of one Python step per symbol.
+    """
+    if nsymbols == 0:
+        return np.zeros(0, dtype=np.int64)
+    if nbits > len(data) * 8 or nbits <= 0:
+        raise StreamFormatError("huffman stream shorter than declared")
+    nseg = -(-nsymbols // SEGMENT_SYMBOLS)
+    seg_bits = np.asarray(seg_bits, dtype=np.int64)
+    if seg_bits.size != nseg - 1:
+        raise StreamFormatError("huffman segment index has wrong length")
+    # Every full segment holds SEGMENT_SYMBOLS codes of 1..max bits.
+    if seg_bits.size and (
+        (seg_bits < SEGMENT_SYMBOLS).any()
+        or (seg_bits > SEGMENT_SYMBOLS * _MAX_CODE_LEN).any()
+    ):
+        raise StreamFormatError("corrupt huffman segment index")
+    starts = np.zeros(nseg, dtype=np.int64)
+    np.cumsum(seg_bits, out=starts[1:])
+    if int(starts[-1]) >= nbits:
+        raise StreamFormatError("huffman segment index past stream end")
+    table_sym, table_len, max_len = _window_table(code)
+
+    nbytes = (nbits + 7) >> 3
+    buf = np.frombuffer(data, dtype=np.uint8, count=nbytes).copy()
+    if nbits & 7:
+        buf[-1] &= 0xFF << (8 - (nbits & 7)) & 0xFF
+    windows = bitpack.byte_windows(buf)
+
+    # March all lanes one code word at a time.  Lanes that finish early
+    # (only the last segment is partial) keep reading clamped windows;
+    # their surplus outputs are discarded below, and the end-position
+    # check would expose any lane that drifted.
+    last_count = nsymbols - SEGMENT_SYMBOLS * (nseg - 1)
+    pos = starts.copy()
+    sym_out = np.empty((SEGMENT_SYMBOLS, nseg), dtype=np.int32)
+    end_last = -1
+    for i in range(SEGMENT_SYMBOLS):
+        if i == last_count:
+            end_last = int(pos[-1])
+        cp = np.minimum(pos, nbits - 1)
+        win = bitpack.extract_msb(windows, cp, max_len)
+        sym_out[i] = table_sym[win]
+        pos += table_len[win]
+    if end_last < 0:
+        end_last = int(pos[-1])
+
+    # A well-formed stream has every lane stopping exactly where the next
+    # one starts (and the last at ``nbits``); a stalled lane (invalid
+    # window, length 0) or a drifted one cannot satisfy this.
+    if nseg > 1 and not np.array_equal(pos[:-1], starts[1:]):
+        raise StreamFormatError("huffman segment lanes misaligned")
+    if end_last != nbits:
+        raise StreamFormatError("huffman stream length mismatch")
+    out = sym_out.T.ravel()[:nsymbols]
+    if out.min(initial=0) < 0:
+        raise StreamFormatError("invalid huffman code word")
+    return out.astype(np.int64)
 
 
 def serialize_code(code: HuffmanCode) -> bytes:

@@ -7,12 +7,12 @@ payloads decode bit-for-bit; only how matches are *found* and how tokens
 are *packed* moved to numpy:
 
 * candidates: every position is hashed on its next 4 bytes at once; a
-  stable sort groups equal hashes, and shifting the sorted order by
+  sort groups equal hashes, and shifting the sorted order by
   ``k = 1..8`` yields each position's k-th most recent same-hash
-  predecessor — the hash chain, probed in bulk.
-* verification/extension: 4-byte equality via ``uint32`` views, then
-  8-bytes-at-a-time extension with the mismatch located by counting the
-  XOR's trailing zero bytes.
+  predecessor — the hash chain, probed in bulk with an adaptive depth
+  cap (a depth that improves almost nothing ends the walk).
+* verification: 8-byte probe words XOR'd in bulk, the mismatch located
+  bytewise; saturated probes are extended lazily at parse time.
 * parsing stays greedy (jump over each emitted match) but walks one
   Python step per *token run*, not per byte; token bit fields are then
   batch-packed with :func:`~repro.lossless.bitpack.pack_msb`.
@@ -46,88 +46,107 @@ _CHAIN_DEPTH = 8
 _MAX_DECODE_BYTES = 1 << 22
 
 
-def _tz_bytes(diff: np.ndarray) -> np.ndarray:
-    """Trailing zero *bytes* of each nonzero ``uint64`` (64 where zero).
+def _prefix_bytes(diff: np.ndarray) -> np.ndarray:
+    """Agreeing low-order byte count (0..8) of each XOR'd ``uint64`` pair.
 
-    Isolates the lowest set bit and takes its float64 ``log2`` — exact,
-    because the isolated value is a power of two.
+    Little-endian words put the first pair byte lowest, so the index of
+    the first nonzero byte *is* the match proxy length.
     """
-    low = diff & (np.uint64(0) - diff)
-    tz = np.full(diff.shape, 64, dtype=np.int64)
-    nz = diff != 0
-    tz[nz] = np.log2(low[nz].astype(np.float64)).astype(np.int64)
-    return tz >> 3
+    bv = diff.view(np.uint8).reshape(-1, 8) != 0
+    plen = bv.argmax(axis=1).astype(np.int64)
+    plen[diff == 0] = 8
+    return plen
 
 
 def _find_matches(data: bytes, n: int) -> tuple[np.ndarray, np.ndarray]:
-    """Best match (length, offset) at every position; length 0 when none."""
-    best_len = np.zeros(n, dtype=np.int64)
-    best_off = np.zeros(n, dtype=np.int64)
-    npos = n - (MIN_MATCH - 1)
-    if npos <= 0:
-        return best_len, best_off
-    a = np.frombuffer(data, dtype=np.uint8)[:n].astype(np.uint32)
-    h = (
-        a[: n - 3] * np.uint32(506832829)
-        + a[1 : n - 2] * np.uint32(2654435761)
-        + a[2 : n - 1] * np.uint32(40503)
-        + a[3:n]
-    ) & np.uint32(0xFFFF)
+    """8-byte-capped match (proxy length, source position) per position.
 
-    # The 8-byte little-endian word starting at every byte offset, as one
-    # gatherable table (padding keeps reads past the end in range; the
-    # per-position length cap keeps the padding out of any match).
-    padded = np.frombuffer(
-        data[:n] + b"\x00" * (MAX_MATCH + 8), dtype=np.uint8
-    ).astype(np.uint64)
-    u64_at = np.zeros(n + MAX_MATCH, dtype=np.uint64)
-    for r in range(8):
-        u64_at |= padded[r : r + u64_at.size] << np.uint64(8 * r)
-
-    # Stable sort groups equal hashes in position order; the entry k slots
-    # earlier inside a group is the k-th most recent predecessor.  Probe
-    # each depth with an 8-byte proxy match; ties on the proxy keep the
-    # most recent predecessor (smaller k, probed first).
-    order = np.argsort(h, kind="stable").astype(np.int64)
-    ho = h[order]
+    ``proxy[i]`` is the length of agreement with the best candidate,
+    saturated at 8 (the probe word width); values below ``MIN_MATCH``
+    mean no match.  The greedy parser extends saturated proxies lazily —
+    only at positions it actually visits, which on long-match data is a
+    tiny fraction of the positions probed here.
+    """
     proxy = np.zeros(n, dtype=np.int64)
     src = np.zeros(n, dtype=np.int64)
+    npos = n - (MIN_MATCH - 1)
+    if npos <= 0:
+        return proxy, src
+    # The 8-byte (and 4-byte) little-endian words starting at every byte
+    # offset — unaligned strided views over the padded buffer, so building
+    # them costs nothing and only touched elements are ever materialized.
+    buf = data[:n] + b"\x00" * (MAX_MATCH + 16)
+    buf += b"\x00" * ((-len(buf)) % 8)
+    u8 = np.frombuffer(buf, dtype=np.uint8)
+    u64_at = np.lib.stride_tricks.as_strided(
+        u8.view(np.uint64), shape=(n + MAX_MATCH,), strides=(1,)
+    )
+    u32_at = np.lib.stride_tricks.as_strided(
+        u8.view(np.uint32), shape=(npos,), strides=(1,)
+    )
+    # Fibonacci (Knuth multiplicative) hash of each 4-byte window word:
+    # one wrapping multiply and a shift, keeping the top 16 bits.
+    h = (u32_at * np.uint32(2654435761)) >> np.uint32(16)
+
+    # Sorting groups equal hashes in position order; the entry k slots
+    # earlier inside a group is the k-th most recent predecessor.  The
+    # (hash << 24 | position) key makes an unstable sort stable and a
+    # single int64 quicksort beats a stable argsort several-fold; huge
+    # inputs overflow the position field and fall back.
+    if h.size < (1 << 24):
+        key = (h.astype(np.int64) << 24) | np.arange(h.size, dtype=np.int64)
+        key.sort()
+        order = key & 0xFFFFFF
+        ho = None  # key deltas below subsume the hash-equality test
+    else:
+        order = np.argsort(h.astype(np.uint16), kind="stable").astype(np.int64)
+        ho = h[order].astype(np.int64)
+        key = None
+
+    # Probe each depth with an 8-byte proxy; ties keep the most recent
+    # predecessor (smaller k, probed first).  State lives in sorted
+    # (order-space) arrays so every depth compares shifted views, and
+    # positions whose proxy already maxed out the probe drop out of deeper
+    # depths — an exact filter, since an update needs a strictly longer
+    # proxy and 8 is the ceiling, so the found matches are unchanged.
+    # The probe cap itself adapts: once a depth improves almost no
+    # positions, deeper predecessors are nearly always worse-or-equal
+    # (more distant, same hash bucket), so the chain walk stops early —
+    # random data stops after one depth, saturated repetitive data after
+    # two, and only mixed data pays the full depth.
+    u64o = u64_at[order]
+    proxy_o = np.zeros(order.size, dtype=np.int64)
+    src_o = np.zeros(order.size, dtype=np.int64)
+    yield_floor = max(64, npos >> 9)
     for k in range(1, _CHAIN_DEPTH + 1):
         if k >= order.size:
             break
-        ii = order[k:]
-        jj = order[:-k]
-        valid = (ho[k:] == ho[:-k]) & (ii - jj <= WINDOW)
-        ii = ii[valid]
-        jj = jj[valid]
-        if not ii.size:
-            continue
-        diff = u64_at[ii] ^ u64_at[jj]
-        plen = _tz_bytes(diff)
+        if key is not None:
+            # Sorted keys are (hash << 24) | position: a delta within the
+            # 64 KiB window implies the hash bits agree too, so one
+            # subtract covers both the group and the window test.
+            cand = key[k:] - key[:-k] <= WINDOW
+        else:
+            cand = (ho[k:] == ho[:-k]) & (order[k:] - order[:-k] <= WINDOW)
+        if k > 1:
+            cand &= proxy_o[k:] < 8
+        idx = np.flatnonzero(cand)
+        if not idx.size:
+            break
+        diff = u64o[idx + k] ^ u64o[idx]
+        plen = _prefix_bytes(diff)
         # A true 4-byte match means the low 4 bytes agree (the 16-bit
         # hash has collisions); shorter agreement is no match at all.
         plen[plen < MIN_MATCH] = 0
-        better = plen > proxy[ii]
-        upd = ii[better]
-        proxy[upd] = plen[better]
-        src[upd] = jj[better]
-
-    # Exact lengths: positions whose proxy maxed out the 8-byte probe are
-    # extended in bulk, 8 bytes per round, only while still equal — one
-    # winning candidate per position instead of one per chain depth.
-    maxlen = np.minimum(MAX_MATCH, n - np.arange(n, dtype=np.int64))
-    has = proxy >= MIN_MATCH
-    best_len[has] = np.minimum(proxy[has], maxlen[has])
-    best_off[has] = np.arange(n, dtype=np.int64)[has] - src[has]
-    act = np.flatnonzero(has & (proxy >= 8) & (best_len < maxlen))
-    depth = 8
-    while act.size and depth < MAX_MATCH:
-        diff = u64_at[act + depth] ^ u64_at[src[act] + depth]
-        grow = np.minimum(best_len[act] + _tz_bytes(diff), maxlen[act])
-        best_len[act] = grow
-        act = act[(diff == 0) & (grow < maxlen[act])]
-        depth += 8
-    return best_len, best_off
+        better = plen != 0 if k == 1 else plen > proxy_o[idx + k]
+        upd = idx[better] + k
+        proxy_o[upd] = plen[better]
+        src_o[upd] = order[idx[better]]
+        if upd.size < yield_floor:
+            break
+    proxy[order] = proxy_o
+    src[order] = src_o
+    return proxy, src
 
 
 def encode(data: bytes, max_bytes: int | None = None) -> bytes | None:
@@ -140,31 +159,55 @@ def encode(data: bytes, max_bytes: int | None = None) -> bytes | None:
     n = len(data)
     if n == 0:
         return struct.pack("<QQ", 0, 0)
-    best_len, best_off = _find_matches(data, n)
+    proxy, src = _find_matches(data, n)
+    arr = np.frombuffer(data, dtype=np.uint8)
 
     # Greedy parse, one Python step per literal run or match: precompute
     # each position's next matchable position so literal runs are jumped,
-    # not walked.
-    has_match = best_len >= MIN_MATCH
+    # not walked.  Saturated proxies are extended exactly here — one short
+    # array compare per *emitted* match instead of a bulk extension pass
+    # over every matchable position.
+    has_match = proxy >= MIN_MATCH
     next_match = np.full(n + 1, n, dtype=np.int64)
     idx = np.flatnonzero(has_match)
     next_match[idx] = idx
     next_match = np.minimum.accumulate(next_match[::-1])[::-1]
 
-    bl = best_len.tolist()
-    nm = next_match.tolist()
+    # The parse touches one position per token, a tiny fraction of n, so
+    # scalar numpy reads beat materializing whole-array Python lists.
+    bl = proxy
+    sl = src
+    nm = next_match
     match_pos: list[int] = []
+    match_len: list[int] = []
     lit_runs: list[tuple[int, int]] = []  # [start, stop) of literal bytes
     pos = 0
     n_lit = 0
     while pos < n:
-        if bl[pos] >= MIN_MATCH:
-            match_pos.append(pos)
-            pos += bl[pos]
+        length = int(bl[pos])
+        if length >= MIN_MATCH:
+            maxl = MAX_MATCH if n - pos > MAX_MATCH else n - pos
+            if length > maxl:
+                length = maxl
+            elif length == 8 and maxl > 8:
+                s = int(sl[pos])
+                ne = arr[pos + 8 : pos + maxl] != arr[s + 8 : s + maxl]
+                hit = np.argmax(ne)
+                length = 8 + (int(hit) if ne[hit] else maxl - 8)
+            if length >= MIN_MATCH:
+                match_pos.append(pos)
+                match_len.append(length)
+                pos += length
+                continue
+            # Length cap near the buffer end sank this below MIN_MATCH;
+            # fall through and emit the gap as literals.
+            lit_runs.append((pos, pos + 1))
+            n_lit += 1
+            pos += 1
         else:
             # No match here, so the next match position is strictly ahead;
             # everything up to it is one literal run.
-            stop = nm[pos]
+            stop = int(nm[pos])
             lit_runs.append((pos, stop))
             n_lit += stop - pos
             pos = stop
@@ -174,7 +217,7 @@ def encode(data: bytes, max_bytes: int | None = None) -> bytes | None:
         return None
 
     mp = np.array(match_pos, dtype=np.int64)
-    arr = np.frombuffer(data, dtype=np.uint8)
+    ml = np.array(match_len, dtype=np.int64)
     if lit_runs:
         lit_pos = np.concatenate([np.arange(s, e, dtype=np.int64) for s, e in lit_runs])
     else:
@@ -186,8 +229,8 @@ def encode(data: bytes, max_bytes: int | None = None) -> bytes | None:
         [
             arr[lit_pos].astype(np.uint64),
             (np.uint64(1 << 24) | (
-                (best_off[mp] - 1).astype(np.uint64) << np.uint64(8)
-            ) | (best_len[mp] - MIN_MATCH).astype(np.uint64))
+                (mp - src[mp] - 1).astype(np.uint64) << np.uint64(8)
+            ) | (ml - MIN_MATCH).astype(np.uint64))
             if mp.size
             else np.empty(0, dtype=np.uint64),
         ]

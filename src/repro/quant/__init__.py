@@ -16,13 +16,17 @@ from .deadzone import (
     MAX_INT_MAGNITUDE,
     calibrate_step,
     dequantize,
+    dequantize_batch,
     integerize,
+    integerize_batch,
     quantize_error_bound,
 )
 
 __all__ = [
     "integerize",
+    "integerize_batch",
     "dequantize",
+    "dequantize_batch",
     "quantize_error_bound",
     "calibrate_step",
     "MAX_INT_MAGNITUDE",

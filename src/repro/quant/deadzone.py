@@ -8,7 +8,9 @@ from ..errors import InvalidArgumentError
 
 __all__ = [
     "integerize",
+    "integerize_batch",
     "dequantize",
+    "dequantize_batch",
     "quantize_error_bound",
     "calibrate_step",
     "MAX_INT_MAGNITUDE",
@@ -38,6 +40,51 @@ def integerize(values: np.ndarray, q: float) -> tuple[np.ndarray, np.ndarray]:
         )
     mags = np.floor(scaled).astype(np.uint64)
     return mags, values < 0
+
+
+def _lane_steps(q, ndim: int) -> np.ndarray:
+    """Validate and reshape a scalar or per-lane step for broadcasting."""
+    qa = np.asarray(q, dtype=np.float64)
+    if not np.all(np.isfinite(qa)) or np.any(qa <= 0):
+        raise InvalidArgumentError(f"quantization step must be positive, got {q}")
+    if qa.ndim:
+        return qa.reshape((-1,) + (1,) * (ndim - 1))
+    return qa
+
+
+def integerize_batch(values: np.ndarray, q) -> tuple[np.ndarray, np.ndarray]:
+    """Per-lane :func:`integerize` of a ``(lanes, ...)`` stack.
+
+    ``q`` is a scalar or a per-lane array; the scale/floor arithmetic is
+    elementwise, so lane ``l`` is bit-identical to
+    ``integerize(values[l], q[l])``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    qb = _lane_steps(q, values.ndim)
+    if not np.all(np.isfinite(values)):
+        raise InvalidArgumentError("input contains NaN or Inf")
+    # Same |v|/q -> floor arithmetic as the serial path, staged in one
+    # scratch buffer instead of three temporaries.
+    scaled = np.abs(values)
+    scaled /= qb
+    if scaled.max(initial=0.0) >= float(MAX_INT_MAGNITUDE):
+        raise InvalidArgumentError(
+            "quantization step too small for the data range (integer overflow)"
+        )
+    np.floor(scaled, out=scaled)
+    return scaled.astype(np.uint64), values < 0
+
+
+def dequantize_batch(mags: np.ndarray, negative: np.ndarray, q) -> np.ndarray:
+    """Per-lane :func:`dequantize` of a ``(lanes, ...)`` stack."""
+    mags = np.asarray(mags, dtype=np.uint64)
+    qb = _lane_steps(q, mags.ndim)
+    out = mags.astype(np.float64)
+    out += 0.5
+    out *= qb
+    out[mags == 0] = 0.0
+    out[np.asarray(negative, dtype=bool)] *= -1.0
+    return out
 
 
 def dequantize(mags: np.ndarray, negative: np.ndarray, q: float) -> np.ndarray:

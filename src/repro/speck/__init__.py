@@ -10,7 +10,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..obs import span
-from ..quant import dequantize, integerize
+from ..quant import dequantize, dequantize_batch, integerize, integerize_batch
+from .batched import BatchedSpeckEncoder, encode_batch
 from .codec import SpeckDecoder, SpeckEncoder, SpeckStats, decode, encode
 from .geometry import Geometry, MaxPyramid
 
@@ -18,11 +19,14 @@ __all__ = [
     "SpeckEncoder",
     "SpeckDecoder",
     "SpeckStats",
+    "BatchedSpeckEncoder",
     "Geometry",
     "MaxPyramid",
     "encode",
+    "encode_batch",
     "decode",
     "encode_coefficients",
+    "encode_coefficients_batch",
     "decode_coefficients",
 ]
 
@@ -44,6 +48,24 @@ def encode_coefficients(
         recon = dequantize(mags, negative, q)
         sp.set(nbits=nbits)
     return stream, nbits, stats, recon
+
+
+def encode_coefficients_batch(
+    coeffs: np.ndarray, q, max_bits=None
+) -> tuple[list[tuple[bytes, int, SpeckStats]], np.ndarray]:
+    """Stacked-lane :func:`encode_coefficients` for ``(lanes, *shape)``.
+
+    ``q`` and ``max_bits`` are scalars or per-lane arrays.  Returns
+    ``(per_lane_results, reconstruction_stack)`` where lane ``l`` of both
+    is bit-identical to ``encode_coefficients(coeffs[l], q[l],
+    max_bits[l])``.
+    """
+    with span("speck.encode", lanes=len(coeffs)) as sp:
+        mags, negative = integerize_batch(coeffs, q)
+        encoded = encode_batch(mags, negative, max_bits=max_bits)
+        recon = dequantize_batch(mags, negative, q)
+        sp.set(nbits=sum(nbits for _, nbits, _ in encoded))
+    return encoded, recon
 
 
 def decode_coefficients(

@@ -1,0 +1,441 @@
+"""Stacked-lane SPECK encoding: many same-shaped chunks per pass.
+
+The serial encoder in :mod:`repro.speck.codec` re-enters the interpreter
+for every chunk at every bitplane; with dozens of chunks the Python
+dispatch dominates.  This module runs ``L`` same-shaped lanes through the
+set-partitioning machinery *together*: every lane's blocks live in one
+combined index space ``gidx = slot * n_blocks(depth) + local`` and each
+significance gather, sign emission, child split, and refinement lookup is
+one numpy call over all lanes at once.
+
+Byte-identity with the serial encoder
+-------------------------------------
+Each emission is recorded as ``(bits, lane_ids)`` parts instead of being
+written to a single stream.  Within every combined operation the relative
+order of one lane's entries is preserved (boolean masking keeps order,
+``children`` expands parents in order with contiguous child runs, list
+chunks are appended in the same structural order as the serial pass), so
+a stable sort of all emitted bits by lane id reproduces, for every lane,
+exactly the bit sequence the serial encoder would have written.
+
+Per-lane divergence is handled by masked lanes:
+
+* a lane whose ``nmax`` is below the current plane simply has no entries
+  yet; its root joins the LIS when the global plane reaches its ``nmax``
+  (which is when the serial encoder would emit its first sorting bit);
+* a lane that exhausts its bit budget at the end of a plane — the serial
+  criterion is checked after each refinement pass — has its LIS/LSP
+  entries filtered out and stops contributing;
+* when fewer than half of the allocated lane slots are still needed the
+  stacked arrays are compacted (live rows copied, indices re-based), so
+  late planes of a few straggler lanes do not pay for the whole batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidArgumentError
+from .codec import SpeckStats, _shared_geometry
+
+__all__ = ["BatchedSpeckEncoder", "encode_batch"]
+
+#: Compact the stacked arrays when needed slots drop below this fraction.
+_COMPACT_FRACTION = 0.5
+
+
+def _lane_counts(chunks: list[np.ndarray], n_lanes: int) -> np.ndarray:
+    """Per-lane element counts over a list of lane-id arrays."""
+    if not chunks:
+        return np.zeros(n_lanes, dtype=np.int64)
+    lanes = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+    return np.bincount(lanes, minlength=n_lanes)
+
+
+class BatchedSpeckEncoder:
+    """Encode ``L`` stacked magnitude/sign lanes in lock-step.
+
+    ``mags`` and ``negative`` have shape ``(L, *chunk_shape)``; lane ``l``
+    is encoded exactly as ``SpeckEncoder(mags[l], negative[l])`` would.
+    """
+
+    def __init__(self, mags: np.ndarray, negative: np.ndarray) -> None:
+        mags = np.asarray(mags, dtype=np.uint64)
+        if mags.ndim < 2 or mags.ndim > 4:
+            raise InvalidArgumentError(
+                "batched SPECK expects (lanes, ...) stacks of 1-D/2-D/3-D chunks"
+            )
+        if mags.shape[0] < 1:
+            raise InvalidArgumentError("batched SPECK needs at least one lane")
+        negative = np.asarray(negative, dtype=bool)
+        if negative.shape != mags.shape:
+            raise InvalidArgumentError("magnitude and sign stacks differ in shape")
+        self.n_lanes = int(mags.shape[0])
+        shape = mags.shape[1:]
+        self.geometry = _shared_geometry(shape)
+        g = self.geometry
+        L = self.n_lanes
+
+        #: blocks per grid and its log2, per depth (padded grids are
+        #: powers of two, so slot/local split is shift/mask arithmetic)
+        self._nblocks = [int(np.prod(grid)) for grid in g.grids]
+        self._shifts = [nb.bit_length() - 1 for nb in self._nblocks]
+        self._masks = [nb - 1 for nb in self._nblocks]
+
+        pad = np.zeros((L,) + g.padded_shape, dtype=np.uint64)
+        pad[(slice(None),) + tuple(slice(0, n) for n in shape)] = mags
+        neg = np.zeros((L,) + g.padded_shape, dtype=bool)
+        neg[(slice(None),) + tuple(slice(0, n) for n in shape)] = negative
+
+        # Stacked max pyramid: levels[d] is (L, n_blocks(d)); the same
+        # reduction as geometry.MaxPyramid with a leading lane axis.
+        levels: list[np.ndarray] = [np.zeros(0)] * (g.max_depth + 1)
+        cur = pad
+        levels[g.max_depth] = cur.reshape(L, -1)
+        for d in range(g.max_depth - 1, -1, -1):
+            split = g._splits[d]
+            for ax in range(g.ndim):
+                if split[ax]:
+                    s = list(cur.shape)
+                    s[ax + 1] //= 2
+                    s.insert(ax + 2, 2)
+                    cur = cur.reshape(s).max(axis=ax + 2)
+            levels[d] = cur.reshape(L, -1)
+        self._levels = levels
+        self._mags2d = pad.reshape(L, -1)
+        self._neg2d = neg.reshape(L, -1)
+
+        #: current slot -> original lane id (identity until compaction)
+        self._slot_orig = np.arange(L, dtype=np.int64)
+        self._nmax = np.array(
+            [int(v).bit_length() - 1 for v in levels[0][:, 0]], dtype=np.int64
+        )
+        # Lane ids are emitted once per output bit; a narrow dtype keeps
+        # the demux argsort in numpy's radix path (O(n), one pass per
+        # byte) instead of comparison sorting int64 keys.
+        self._lane_dtype = np.uint8 if L <= 256 else np.uint16
+        self._refresh_flat()
+
+    def _refresh_flat(self) -> None:
+        """Rebuild the flattened views/casts the hot loop indexes into."""
+        self._flat_levels = [lv.reshape(-1) for lv in self._levels]
+        self._flat_mags = self._mags2d.reshape(-1)
+        self._flat_neg = self._neg2d.reshape(-1)
+        self._slot_small = self._slot_orig.astype(self._lane_dtype)
+
+    # -- combined index helpers -----------------------------------------
+
+    def _lanes_of(self, depth: int, gidx: np.ndarray) -> np.ndarray:
+        """Original lane ids of combined indices at ``depth``."""
+        return self._slot_small[gidx >> self._shifts[depth]]
+
+    def _children(self, depth: int, gidx: np.ndarray) -> np.ndarray:
+        """Combined child indices; parents keep order, children contiguous."""
+        slot = gidx >> self._shifts[depth]
+        local = gidx & self._masks[depth]
+        table = self.geometry.child_table(depth)
+        child = (slot << self._shifts[depth + 1])[:, None] + table[local]
+        return child.reshape(-1)
+
+    # -- encoding --------------------------------------------------------
+
+    def encode(
+        self, max_bits: int | np.ndarray | None = None
+    ) -> list[tuple[bytes, int, SpeckStats]]:
+        """Encode every lane; returns per-lane ``(stream, nbits, stats)``.
+
+        ``max_bits`` may be ``None`` (no budget), a scalar applied to all
+        lanes, or a per-lane integer array.
+        """
+        L = self.n_lanes
+        if max_bits is None:
+            budgets = np.full(L, -1, dtype=np.int64)
+        else:
+            budgets = np.broadcast_to(
+                np.asarray(max_bits, dtype=np.int64), (L,)
+            ).copy()
+            if np.any(budgets[budgets >= 0] < 1) or np.any(budgets == 0):
+                raise InvalidArgumentError("max_bits must be positive")
+        has_budget = budgets >= 0
+
+        nmax_lane = np.zeros(L, dtype=np.int64)
+        nmax_lane[self._slot_orig] = self._nmax
+        alive = np.ones(L, dtype=bool)  # by original lane id
+        budget_hit = np.zeros(L, dtype=bool)
+        cum_bits = np.full(L, 8, dtype=np.int64)  # 8-bit header per lane
+
+        bits_parts: list[np.ndarray] = []
+        lane_parts: list[np.ndarray] = []
+        plane_records: list[tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+
+        max_depth = self.geometry.max_depth
+        lis: list[list[np.ndarray]] = [[] for _ in range(max_depth + 1)]
+        lsp: list[np.ndarray] = []
+        n_lsp_old = 0
+
+        n_top = int(self._nmax.max(initial=-1))
+        for n in range(n_top, -1, -1):
+            alive_slot = alive[self._slot_orig]
+            # Lanes whose nmax equals this plane start now: their root
+            # (depth-0 block, combined index == slot) enters the LIS.
+            joining = np.nonzero(alive_slot & (self._nmax == n))[0]
+            if joining.size:
+                lis[0].append(joining.astype(np.int64))
+            participating = np.zeros(L, dtype=bool)
+            participating[self._slot_orig[alive_slot & (self._nmax >= n)]] = True
+
+            # ---- sorting pass (mirrors codec.SpeckEncoder._sorting_pass)
+            threshold = np.uint64(1) << np.uint64(n)
+            new_lis: list[list[np.ndarray]] = [[] for _ in range(max_depth + 1)]
+            new_lsp: list[np.ndarray] = []
+            # Per-lane counts are only needed once per plane (budget check
+            # + stats); collect the lane arrays and bincount them after
+            # the recursion instead of on every emission.
+            sort_lanes_acc: list[np.ndarray] = []
+            sign_lanes_acc: list[np.ndarray] = []
+            flat_levels = self._flat_levels
+            flat_neg = self._flat_neg
+
+            def process(depth: int, idx: np.ndarray) -> None:
+                if idx.size == 0:
+                    return
+                sig = flat_levels[depth][idx] >= threshold
+                lanes = self._lanes_of(depth, idx)
+                bits_parts.append(sig)
+                lane_parts.append(lanes)
+                sort_lanes_acc.append(lanes)
+                insig = idx[~sig]
+                if insig.size:
+                    new_lis[depth].append(insig)
+                sig_idx = idx[sig]
+                if sig_idx.size == 0:
+                    return
+                if depth == max_depth:
+                    slanes = lanes[sig]
+                    bits_parts.append(flat_neg[sig_idx])
+                    lane_parts.append(slanes)
+                    sign_lanes_acc.append(slanes)
+                    new_lsp.append(sig_idx)
+                else:
+                    process(depth + 1, self._children(depth, sig_idx))
+
+            for depth in range(max_depth, -1, -1):
+                chunks = lis[depth]
+                if not chunks:
+                    continue
+                batch = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                process(depth, batch)
+            lis = new_lis
+            n_lsp_old = sum(c.size for c in lsp)
+            lsp.extend(new_lsp)
+            sort_c = _lane_counts(sort_lanes_acc, L)
+            sign_c = _lane_counts(sign_lanes_acc, L)
+
+            # ---- refinement pass (codec.SpeckEncoder._refinement_pass)
+            ref_c = np.zeros(L, dtype=np.int64)
+            if lsp:
+                lsp = [lsp[0] if len(lsp) == 1 else np.concatenate(lsp)]
+            if n_lsp_old:
+                old = lsp[0][:n_lsp_old]
+                bit = (
+                    self._flat_mags[old] & (np.uint64(1) << np.uint64(n))
+                ) != 0
+                rlanes = self._lanes_of(max_depth, old)
+                bits_parts.append(bit)
+                lane_parts.append(rlanes)
+                ref_c = np.bincount(rlanes, minlength=L)
+
+            plane_records.append((n, sort_c, sign_c, ref_c, participating))
+            cum_bits += sort_c + sign_c + ref_c
+
+            # ---- budget check at plane end (serial: break when
+            # writer.nbits >= max_bits after the refinement pass)
+            newly_dead = (
+                participating & has_budget & alive & (cum_bits >= budgets)
+            )
+            if newly_dead.any():
+                budget_hit |= newly_dead
+                alive &= ~newly_dead
+                alive_slot = alive[self._slot_orig]
+                self._filter_dead(lis, lsp, alive_slot)
+
+            if n > 0:
+                needed = alive[self._slot_orig] & (self._nmax >= 0)
+                n_needed = int(np.count_nonzero(needed))
+                if n_needed == 0:
+                    break
+                if n_needed < self._slot_orig.size * _COMPACT_FRACTION:
+                    lis, lsp = self._compact(needed, lis, lsp)
+
+        return self._demux(
+            bits_parts, lane_parts, plane_records, nmax_lane, budgets,
+            has_budget, budget_hit,
+        )
+
+    # -- lane lifecycle --------------------------------------------------
+
+    def _filter_dead(
+        self,
+        lis: list[list[np.ndarray]],
+        lsp: list[np.ndarray],
+        alive_slot: np.ndarray,
+    ) -> None:
+        """Drop LIS/LSP entries of lanes that just exhausted their budget."""
+        for depth in range(len(lis)):
+            if lis[depth]:
+                shift = self._shifts[depth]
+                lis[depth] = [
+                    kept
+                    for c in lis[depth]
+                    if (kept := c[alive_slot[c >> shift]]).size
+                ]
+        shift = self._shifts[self.geometry.max_depth]
+        for i, c in enumerate(lsp):
+            lsp[i] = c[alive_slot[c >> shift]]
+
+    def _compact(
+        self,
+        needed: np.ndarray,
+        lis: list[list[np.ndarray]],
+        lsp: list[np.ndarray],
+    ) -> tuple[list[list[np.ndarray]], list[np.ndarray]]:
+        """Copy live rows into a narrower stack and re-base all indices."""
+        keep = np.nonzero(needed)[0]
+        perm = np.full(self._slot_orig.size, -1, dtype=np.int64)
+        perm[keep] = np.arange(keep.size, dtype=np.int64)
+        for d in range(len(self._levels)):
+            self._levels[d] = np.ascontiguousarray(self._levels[d][keep])
+        self._mags2d = np.ascontiguousarray(self._mags2d[keep])
+        self._neg2d = np.ascontiguousarray(self._neg2d[keep])
+        self._slot_orig = self._slot_orig[keep]
+        self._nmax = self._nmax[keep]
+        self._refresh_flat()
+
+        def remap(depth: int, c: np.ndarray) -> np.ndarray:
+            shift = self._shifts[depth]
+            return (perm[c >> shift] << shift) | (c & self._masks[depth])
+
+        new_lis = [
+            [remap(depth, c) for c in chunks] for depth, chunks in enumerate(lis)
+        ]
+        new_lsp = [remap(self.geometry.max_depth, c) for c in lsp]
+        return new_lis, new_lsp
+
+    # -- output assembly -------------------------------------------------
+
+    def _demux(
+        self,
+        bits_parts: list[np.ndarray],
+        lane_parts: list[np.ndarray],
+        plane_records: list[tuple],
+        nmax_lane: np.ndarray,
+        budgets: np.ndarray,
+        has_budget: np.ndarray,
+        budget_hit: np.ndarray,
+    ) -> list[tuple[bytes, int, SpeckStats]]:
+        L = self.n_lanes
+        if bits_parts:
+            all_bits = np.concatenate(bits_parts)
+            all_lanes = np.concatenate(lane_parts)
+            order = np.argsort(all_lanes, kind="stable")
+            sorted_bits = all_bits[order]
+            counts = np.bincount(all_lanes, minlength=L).astype(np.int64)
+        else:
+            sorted_bits = np.zeros(0, dtype=bool)
+            counts = np.zeros(L, dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+
+        stats = [SpeckStats() for _ in range(L)]
+        for n, sort_c, sign_c, ref_c, participating in plane_records:
+            for lane in np.nonzero(participating)[0]:
+                st = stats[lane]
+                st.planes.append(int(n))
+                st.sorting_bits.append(int(sort_c[lane]))
+                st.sign_bits.append(int(sign_c[lane]))
+                st.refinement_bits.append(int(ref_c[lane]))
+
+        # Assemble every lane into one byte-aligned scratch bit array so
+        # the whole batch needs a single packbits pass: lane ``l`` owns
+        # region [region[l], region[l] + 8 + counts[l]) padded up to a
+        # byte, so its packed stream is a plain byte slice.
+        totals = counts + 8  # 8-bit nmax header per lane
+        emit = totals.copy()
+        np.minimum(emit, budgets, where=has_budget, out=emit)
+        region = np.zeros(L + 1, dtype=np.int64)
+        np.cumsum((totals + 7) >> 3 << 3, out=region[1:])
+        scratch = np.zeros(int(region[-1]), dtype=bool)
+        header_bits = np.unpackbits(
+            (nmax_lane + 1).astype(np.uint8)[:, None], axis=1
+        ).astype(bool)
+        for lane in range(L):
+            start = region[lane]
+            scratch[start : start + 8] = header_bits[lane]
+            scratch[start + 8 : start + totals[lane]] = sorted_bits[
+                offsets[lane] : offsets[lane + 1]
+            ]
+            if emit[lane] < totals[lane]:
+                # Serial writers pack only the first max_bits bits; zero
+                # the tail so the shared packbits pass matches that.
+                scratch[start + emit[lane] : start + totals[lane]] = False
+        packed = np.packbits(scratch).tobytes()
+
+        out: list[tuple[bytes, int, SpeckStats]] = []
+        for lane in range(L):
+            total = int(totals[lane])
+            b0 = int(region[lane]) >> 3
+            data = packed[b0 : b0 + ((int(emit[lane]) + 7) >> 3)]
+            nbits = min(total, int(budgets[lane])) if budget_hit[lane] else total
+            out.append((data, nbits, stats[lane]))
+        return out
+
+
+#: Lane-size ceiling (in pixels) for the stacked encoder.  Lock-step
+#: stacking amortizes the per-plane interpreter dispatch, which pays off
+#: while a lane's working set (magnitudes + max pyramid) is small; for
+#: larger chunks the per-lane reference codec is cache-resident and
+#: faster, so the batch routes through it lane by lane.  Measured
+#: crossover: 8^3/16^2 lanes win stacked (2-5x), 16^3 lanes win serial.
+_STACK_MAX_PIXELS = 2048
+
+#: Minimum lanes for stacking to beat the per-lane loop's simplicity.
+_STACK_MIN_LANES = 4
+
+
+def encode_batch(
+    mags: np.ndarray,
+    negative: np.ndarray,
+    max_bits: int | np.ndarray | None = None,
+) -> list[tuple[bytes, int, SpeckStats]]:
+    """One-shot batched SPECK encode over ``(lanes, *shape)`` stacks.
+
+    Lane ``l`` of the result is byte-identical to
+    ``codec.encode(mags[l], negative[l], max_bits=max_bits[l])``; small
+    lanes run through the stacked :class:`BatchedSpeckEncoder`, large
+    lanes through the per-lane reference codec (see
+    :data:`_STACK_MAX_PIXELS`).
+    """
+    mags = np.asarray(mags, dtype=np.uint64)
+    if mags.ndim < 2 or mags.ndim > 4:
+        raise InvalidArgumentError(
+            "batched SPECK expects (lanes, ...) stacks of 1-D/2-D/3-D chunks"
+        )
+    npix = int(np.prod(mags.shape[1:]))
+    n_lanes = int(mags.shape[0])
+    if npix <= _STACK_MAX_PIXELS and n_lanes >= _STACK_MIN_LANES:
+        return BatchedSpeckEncoder(mags, negative).encode(max_bits=max_bits)
+    from .codec import encode as _serial_encode
+
+    negative = np.asarray(negative, dtype=bool)
+    if max_bits is None:
+        per_lane = [None] * n_lanes
+    else:
+        per_lane = [
+            int(b)
+            for b in np.broadcast_to(
+                np.asarray(max_bits, dtype=np.int64), (n_lanes,)
+            )
+        ]
+    return [
+        _serial_encode(mags[lane], negative[lane], max_bits=per_lane[lane])
+        for lane in range(n_lanes)
+    ]

@@ -21,7 +21,16 @@ import numpy as np
 from ..errors import InvalidArgumentError
 from .lifting import FILTERS
 
-__all__ = ["num_levels", "WaveletPlan", "forward", "inverse", "inverse_to_level", "lowpass_dc_gain"]
+__all__ = [
+    "num_levels",
+    "WaveletPlan",
+    "forward",
+    "forward_batch",
+    "inverse",
+    "inverse_batch",
+    "inverse_to_level",
+    "lowpass_dc_gain",
+]
 
 #: Paper's cap on recursion depth ("diminishing benefit of deeply
 #: recursive wavelet transforms").
@@ -95,10 +104,20 @@ class WaveletPlan:
 
 
 def _axis_apply(arr: np.ndarray, axis: int, length: int, func) -> None:
-    """Apply a last-axis transform to ``arr[..., :length, ...]`` in place."""
+    """Apply a last-axis transform to ``arr[..., :length, ...]`` in place.
+
+    When the transform axis is strided (any axis but the last), the
+    region is staged through one contiguous copy: the lifting steps make
+    ~10 slice passes over the data, and paying two strided passes
+    (gather + scatter) instead of ten is a large win on 3-D arrays.
+    The staged values are identical, so outputs are bit-identical.
+    """
     view = np.moveaxis(arr, axis, -1)
     region = view[..., :length]
-    np.copyto(region, func(region))
+    if region.strides[-1] != region.itemsize:
+        np.copyto(region, func(np.ascontiguousarray(region)))
+    else:
+        np.copyto(region, func(region))
 
 
 def forward(
@@ -129,6 +148,65 @@ def forward(
             if level < plan.axis_levels[ax] and lengths[ax] >= 2:
                 _axis_apply(coeffs, ax, lengths[ax], fwd)
     return coeffs, plan
+
+
+#: Target per-block working set for the stacked transforms.  The lifting
+#: passes stream the block several times, so keeping it L2-resident beats
+#: maximal stacking; measured optimum is ~128 KiB (a 16^3 chunk stacks 4
+#: lanes per block, a 32^3 chunk runs lane-at-a-time).
+_BLOCK_BYTES = 1 << 17
+
+
+def _lane_block(shape: tuple[int, ...]) -> int:
+    lane_bytes = int(np.prod(shape)) * 8
+    return max(1, _BLOCK_BYTES // max(1, lane_bytes))
+
+
+def forward_batch(stack: np.ndarray, plan: WaveletPlan) -> np.ndarray:
+    """Forward DWT of a ``(lanes, *shape)`` stack, one pass per axis.
+
+    The lifting steps are pure elementwise slice arithmetic broadcast
+    over every non-transform axis, so lane ``l`` of the result is
+    bit-identical to ``forward(stack[l], plan=plan)[0]``.  Lanes are
+    processed in L2-sized blocks (see :data:`_BLOCK_BYTES`).
+    """
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.shape[1:] != plan.shape:
+        raise InvalidArgumentError(
+            f"stack shape {stack.shape[1:]} does not match plan {plan.shape}"
+        )
+    fwd, _ = FILTERS[plan.wavelet]
+    coeffs = stack.copy()
+    block = _lane_block(plan.shape)
+    for b0 in range(0, coeffs.shape[0], block):
+        sub = coeffs[b0 : b0 + block]
+        for level in range(plan.total_levels):
+            lengths = plan.low_lengths[level]
+            for ax in range(len(plan.shape)):
+                if level < plan.axis_levels[ax] and lengths[ax] >= 2:
+                    _axis_apply(sub, ax + 1, lengths[ax], fwd)
+    return coeffs
+
+
+def inverse_batch(stack: np.ndarray, plan: WaveletPlan) -> np.ndarray:
+    """Inverse of :func:`forward_batch` (lane-wise identical to
+    :func:`inverse`)."""
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.shape[1:] != plan.shape:
+        raise InvalidArgumentError(
+            f"stack shape {stack.shape[1:]} does not match plan {plan.shape}"
+        )
+    _, inv = FILTERS[plan.wavelet]
+    data = stack.copy()
+    block = _lane_block(plan.shape)
+    for b0 in range(0, data.shape[0], block):
+        sub = data[b0 : b0 + block]
+        for level in range(plan.total_levels - 1, -1, -1):
+            lengths = plan.low_lengths[level]
+            for ax in range(len(plan.shape) - 1, -1, -1):
+                if level < plan.axis_levels[ax] and lengths[ax] >= 2:
+                    _axis_apply(sub, ax + 1, lengths[ax], inv)
+    return data
 
 
 _DC_GAIN_CACHE: dict[str, float] = {}

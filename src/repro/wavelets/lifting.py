@@ -72,24 +72,57 @@ def _odd_neighbors(d: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
     return left, right
 
 
+def _even_sum(s: np.ndarray, n: int, out: np.ndarray) -> None:
+    """``sl + sr`` of :func:`_even_neighbors` written into ``out``.
+
+    Same elementwise sums as the concat-based helper (so results are
+    bit-identical) without allocating the shifted copies.
+    """
+    if n % 2 == 0:
+        np.add(s[..., :-1], s[..., 1:], out=out[..., :-1])
+        np.add(s[..., -1], s[..., -1], out=out[..., -1])
+    else:
+        np.add(s[..., :-1], s[..., 1:], out=out)
+
+
+def _odd_sum(d: np.ndarray, n: int, out: np.ndarray) -> None:
+    """``dl + dr`` of :func:`_odd_neighbors` written into ``out``."""
+    if n % 2 == 0:
+        np.add(d[..., :-1], d[..., 1:], out=out[..., 1:])
+        np.add(d[..., 0], d[..., 0], out=out[..., 0])
+    else:
+        np.add(d[..., :-1], d[..., 1:], out=out[..., 1:-1])
+        np.add(d[..., 0], d[..., 0], out=out[..., 0])
+        np.add(d[..., -1], d[..., -1], out=out[..., -1])
+
+
 def forward_97(x: np.ndarray) -> np.ndarray:
     """One CDF 9/7 analysis pass along the last axis.
 
     Returns the coefficients in Mallat layout: ``[lowpass | highpass]``
     concatenated along the last axis (lowpass length is ``ceil(n/2)``).
+    The lifting steps stage each neighbor sum in a reused scratch buffer;
+    the arithmetic (add, scale, accumulate) matches the textbook form
+    operation for operation, so outputs are bit-identical to it.
     """
     n = x.shape[-1]
     if n < 2:
         raise InvalidArgumentError("transform length must be at least 2")
     s, d = _split(x.astype(np.float64, copy=False))
-    sl, sr = _even_neighbors(s, n)
-    d += _ALPHA * (sl + sr)
-    dl, dr = _odd_neighbors(d, n)
-    s += _BETA * (dl + dr)
-    sl, sr = _even_neighbors(s, n)
-    d += _GAMMA * (sl + sr)
-    dl, dr = _odd_neighbors(d, n)
-    s += _DELTA * (dl + dr)
+    t_d = np.empty_like(d)
+    t_s = np.empty_like(s)
+    _even_sum(s, n, t_d)
+    t_d *= _ALPHA
+    d += t_d
+    _odd_sum(d, n, t_s)
+    t_s *= _BETA
+    s += t_s
+    _even_sum(s, n, t_d)
+    t_d *= _GAMMA
+    d += t_d
+    _odd_sum(d, n, t_s)
+    t_s *= _DELTA
+    s += t_s
     s *= _S_LOW
     d *= _S_HIGH
     return np.concatenate([s, d], axis=-1)
@@ -103,14 +136,20 @@ def inverse_97(c: np.ndarray) -> np.ndarray:
     d = c[..., half:].astype(np.float64, copy=True)
     s /= _S_LOW
     d /= _S_HIGH
-    dl, dr = _odd_neighbors(d, n)
-    s -= _DELTA * (dl + dr)
-    sl, sr = _even_neighbors(s, n)
-    d -= _GAMMA * (sl + sr)
-    dl, dr = _odd_neighbors(d, n)
-    s -= _BETA * (dl + dr)
-    sl, sr = _even_neighbors(s, n)
-    d -= _ALPHA * (sl + sr)
+    t_d = np.empty_like(d)
+    t_s = np.empty_like(s)
+    _odd_sum(d, n, t_s)
+    t_s *= _DELTA
+    s -= t_s
+    _even_sum(s, n, t_d)
+    t_d *= _GAMMA
+    d -= t_d
+    _odd_sum(d, n, t_s)
+    t_s *= _BETA
+    s -= t_s
+    _even_sum(s, n, t_d)
+    t_d *= _ALPHA
+    d -= t_d
     out = np.empty_like(c, dtype=np.float64)
     out[..., 0::2] = s
     out[..., 1::2] = d

@@ -52,7 +52,10 @@ class TestChunkMap:
             chunk_map(boom, [1, 2], executor="thread", workers=2)
 
     def test_executor_registry(self):
-        assert set(EXECUTORS) == {"serial", "thread", "process"}
+        assert set(EXECUTORS) == {"serial", "thread", "process", "batch"}
+
+    def test_batch_degrades_to_serial_loop(self):
+        assert chunk_map(_square, [1, 2, 3], executor="batch") == [1, 4, 9]
 
     def test_default_workers_leaves_headroom(self):
         """Sec. V-D: leave a few cores for system processes."""

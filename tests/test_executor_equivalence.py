@@ -16,7 +16,7 @@ from repro.core.chunking import plan_chunks
 from repro.core.parallel import map_chunk_arrays
 from repro.compressors import ChunkedCompressor, ZfpLikeCompressor
 
-EXECUTORS = ["serial", "thread", "process"]
+EXECUTORS = ["serial", "thread", "process", "batch"]
 
 
 @pytest.fixture(scope="module")

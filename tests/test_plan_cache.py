@@ -106,13 +106,23 @@ class TestCachedPipeline:
     def test_same_shaped_chunks_hit_cache(self):
         rng = np.random.default_rng(3)
         data = rng.normal(size=(32, 32, 32))
-        compress(data, PweMode(1e-2), chunk_shape=16)
+        # The serial loop looks the plans up once per chunk; the batch
+        # executor fetches them once per shape *group* (see below).
+        compress(data, PweMode(1e-2), chunk_shape=16, executor="serial")
         stats = cache_stats()
         # 8 chunks of one shape: 1 miss, 7 hits per plan cache.
         assert stats["wavelet_plans"]["misses"] == 1
         assert stats["wavelet_plans"]["hits"] >= 7
         assert stats["speck_geometries"]["misses"] >= 1
         assert stats["speck_geometries"]["hits"] >= 7
+
+    def test_batch_executor_fetches_plans_once_per_group(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(32, 32, 32))
+        compress(data, PweMode(1e-2), chunk_shape=16, executor="batch")
+        stats = cache_stats()
+        assert stats["wavelet_plans"]["misses"] == 1
+        assert stats["speck_geometries"]["misses"] >= 1
 
     def test_warm_cache_streams_bit_identical(self):
         rng = np.random.default_rng(11)
