@@ -339,6 +339,27 @@ def check_store_micro(*, quick: bool = False) -> list[str]:
     return problems
 
 
+def check_scorecard(*, quick: bool = False) -> list[str]:
+    """Gate the robustness scorecard: no cell may fail.
+
+    ``quick`` (and the default gate run) uses the tier-1 smoke subset;
+    the opt-in CI sweep runs the full matrix through the CLI instead.
+    A failing cell is a correctness regression — a codec crashed on,
+    corrupted, or broke the PWE/dtype/NaN contract for a scenario that
+    used to pass — so there is no re-measure step.
+    """
+    from repro.analysis import run_scorecard
+
+    card = run_scorecard(smoke_only=True)
+    print(
+        f"scorecard: {len(card.cells)} smoke cells, {card.n_failed} failed"
+    )
+    return [
+        f"scorecard {c.codec} x {c.scenario}: {c.error}"
+        for c in card.failures()
+    ]
+
+
 def run_gate(*, quick: bool = False, threshold: float = DEFAULT_THRESHOLD) -> list[str]:
     """Measure the current tree and gate it against BENCH_speed.json.
 
@@ -391,6 +412,7 @@ def run_gate(*, quick: bool = False, threshold: float = DEFAULT_THRESHOLD) -> li
     problems += check_trace_consistency(timings)
     problems += check_container_overhead()
     problems += check_store_micro(quick=quick)
+    problems += check_scorecard(quick=quick)
     return problems
 
 

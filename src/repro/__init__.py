@@ -22,6 +22,7 @@ from .core import (
     CompressionResult,
     DecodeReport,
     DecodeResult,
+    DegradationNote,
     PsnrMode,
     PweMode,
     SizeMode,
@@ -46,6 +47,7 @@ __all__ = [
     "CompressionResult",
     "DecodeReport",
     "DecodeResult",
+    "DegradationNote",
     "PweMode",
     "PsnrMode",
     "SizeMode",

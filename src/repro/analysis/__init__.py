@@ -11,6 +11,7 @@ from .outliers import (
 )
 from .rd import RdPoint, rd_point, rd_sweep
 from .report import banner, format_series, format_table
+from .scorecard import Scorecard, ScorecardCell, format_scorecard, run_scorecard
 from .scaling import (
     ScalingStudy,
     lpt_makespan,
@@ -55,4 +56,8 @@ __all__ = [
     "compaction_curve",
     "format_series",
     "format_table",
+    "Scorecard",
+    "ScorecardCell",
+    "run_scorecard",
+    "format_scorecard",
 ]

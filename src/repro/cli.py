@@ -180,6 +180,23 @@ def build_parser() -> argparse.ArgumentParser:
         default="sperr,sz-like,zfp-like,mgard-like",
         help="comma-separated subset of: sperr, sz-like, zfp-like, tthresh-like, mgard-like",
     )
+
+    sc = sub.add_parser(
+        "scorecard",
+        help="run the codec x scenario robustness matrix and print the table",
+    )
+    sc.add_argument(
+        "--full", action="store_true",
+        help="run every registered scenario (default: the tier-1 smoke subset)",
+    )
+    sc.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the scorecard as JSON to PATH (the CI artifact)",
+    )
+    sc.add_argument(
+        "--codecs", default=None,
+        help="comma-separated codec subset (default: all five)",
+    )
     return parser
 
 
@@ -255,6 +272,7 @@ _MODE_NAMES = {0: "PWE-bounded", 1: "size-bounded", 2: "PSNR-bounded"}
 
 def _cmd_info(args: argparse.Namespace) -> int:
     from .core.container import parse_container
+    from .core.mask import decode_mask, mask_summary
 
     with open(args.input, "rb") as f:
         payload = f.read()
@@ -267,7 +285,42 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"mode:     {_MODE_NAMES.get(parsed.mode_code, f'code {parsed.mode_code}')}")
     print(f"chunks:   {len(parsed.chunks)}")
     print(f"size:     {len(payload)} bytes ({8.0 * len(payload) / npoints:.3f} bpp)")
+    if parsed.mask_blob is not None:
+        counts = mask_summary(decode_mask(parsed.mask_blob, npoints))
+        print(
+            f"mask:     {counts['masked']}/{npoints} samples non-finite "
+            f"(NaN {counts['nan']}, +Inf {counts['pos_inf']}, "
+            f"-Inf {counts['neg_inf']}); {len(parsed.mask_blob)}-byte RLE blob"
+        )
+    else:
+        print("mask:     none (fully finite input)")
     return 0
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import format_scorecard, run_scorecard
+    from .compressors import ALL_COMPRESSORS
+
+    codecs = None
+    if args.codecs:
+        codecs = [n.strip() for n in args.codecs.split(",") if n.strip()]
+        unknown = [n for n in codecs if n not in ALL_COMPRESSORS]
+        if unknown:
+            print(
+                f"error: unknown compressor(s) {unknown}; choose from "
+                f"{sorted(ALL_COMPRESSORS)}",
+                file=sys.stderr,
+            )
+            return EXIT_BAD_ARGS
+    card = run_scorecard(smoke_only=not args.full, codecs=codecs)
+    print(format_scorecard(card))
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(card.to_dict(), f, indent=2)
+        print(f"wrote {args.json}")
+    return EXIT_ERROR if card.n_failed else 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -413,6 +466,11 @@ def _cmd_store(args: argparse.Namespace) -> int:
     print(f"chunks:    {info['n_chunks']} per frame (max level {info['max_level']})")
     print(f"shards:    {info['n_shards']}")
     print(f"payload:   {info['payload_bytes']} bytes")
+    if info.get("masked_frames"):
+        print(
+            f"masks:     frames {info['masked_frames']} carry non-finite "
+            f"samples ({info['mask_bytes']} mask bytes)"
+        )
     return 0
 
 
@@ -459,6 +517,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_extract(args)
         if args.command == "store":
             return _cmd_store(args)
+        if args.command == "scorecard":
+            return _cmd_scorecard(args)
         return _cmd_info(args)
     except (InvalidArgumentError, UnsupportedModeError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -3,6 +3,7 @@ SPERR plus reimplemented SZ3-, ZFP-, TTHRESH-, and MGARD-like baselines."""
 
 from .base import Compressor, Mode, PsnrMode, psnr_target_for_idx
 from .chunked import ChunkedCompressor
+from .masked import MaskedCompressor
 from .mgardlike import MgardLikeCompressor
 from .sperr import SperrCompressor
 from .szlike import SzLikeCompressor
@@ -21,6 +22,7 @@ ALL_COMPRESSORS = {
 __all__ = [
     "ALL_COMPRESSORS",
     "ChunkedCompressor",
+    "MaskedCompressor",
     "Compressor",
     "Mode",
     "PsnrMode",

@@ -14,7 +14,11 @@ SPERR.
 
 Framing is versioned like the main container: ``CHK2`` payloads carry a
 header CRC32 and per-chunk CRC32s; legacy ``CHNK`` payloads (no CRCs)
-remain readable.  :meth:`ChunkedCompressor.decompress` supports the same
+remain readable.  ``CHK3`` adds an input dtype code and an optional
+non-finite mask section (:mod:`repro.core.mask`) and is emitted only
+when the input is float32 or carries NaN/Inf samples — float64 finite
+inputs keep producing byte-identical ``CHK2`` payloads.
+:meth:`ChunkedCompressor.decompress` supports the same
 ``on_error="salvage"`` fault-isolation mode as
 :func:`repro.core.container.decompress`.
 """
@@ -49,9 +53,13 @@ __all__ = ["ChunkedCompressor"]
 
 _MAGIC_V1 = b"CHNK"
 _MAGIC_V2 = b"CHK2"
+_MAGIC_V3 = b"CHK3"
 
-#: byte offset of the v2 header-CRC field (right after the magic)
+#: byte offset of the v2/v3 header-CRC field (right after the magic)
 _HEADER_CRC_OFFSET = 4
+
+_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+_DTYPE_BY_CODE = {v: k for k, v in _DTYPE_CODES.items()}
 
 
 def _compress_part(part: np.ndarray, inner: Compressor, mode: Mode) -> bytes:
@@ -98,11 +106,37 @@ class ChunkedCompressor(Compressor):
         self.workers = workers
         self.name = f"{inner.name}+chunks"
         self.supported_modes = inner.supported_modes
+        #: degradation notes from the most recent :meth:`compress` call
+        self.last_notes: list = []
 
     def compress(self, data: np.ndarray, mode: Mode) -> bytes:
-        """Tile, compress tiles through the executor, frame the results."""
+        """Tile, compress tiles through the executor, frame the results.
+
+        Non-finite samples are masked and filled at this boundary
+        (:func:`repro.core.mask.sanitize_array`), so the inner codec —
+        whichever baseline it is — only ever sees finite values; float32
+        inputs round-trip as float32.  Both conditions switch the framing
+        to ``CHK3``; float64 finite inputs keep the ``CHK2`` bytes.
+        """
+        from ..core.mask import (
+            encode_mask,
+            sanitize_array,
+            tighten_pwe_for_dtype,
+        )
+
         self.check_mode(mode)
+        data = np.asarray(data)
+        dtype = (
+            np.dtype(np.float32)
+            if data.dtype == np.float32
+            else np.dtype(np.float64)
+        )
+        data, mask_codes, self.last_notes = sanitize_array(
+            data.astype(dtype, copy=False)
+        )
+        mode = tighten_pwe_for_dtype(mode, data)
         data = np.asarray(data, dtype=np.float64)
+        mask_blob = None if mask_codes is None else encode_mask(mask_codes)
         chunks = plan_chunks(data.shape, self.chunk_shape)
         # The process path ships the volume through shared memory once
         # (workers slice their own chunks); serial/thread slice in-process.
@@ -124,10 +158,13 @@ class ChunkedCompressor(Compressor):
                     workers=self.workers,
                 )
         add_counter("chunked.bytes_out", sum(len(p) for p in payloads))
+        v3 = mask_blob is not None or dtype == np.float32
         head = bytearray()
-        head += _MAGIC_V2
+        head += _MAGIC_V3 if v3 else _MAGIC_V2
         head += b"\x00\x00\x00\x00"  # header CRC, patched below
         head += struct.pack("<B", data.ndim)
+        if v3:
+            head += struct.pack("<B", _DTYPE_CODES[dtype])
         head += struct.pack(f"<{data.ndim}Q", *data.shape)
         head += struct.pack("<I", len(chunks))
         for chunk in chunks:
@@ -137,8 +174,11 @@ class ChunkedCompressor(Compressor):
             head += struct.pack("<Q", len(p))
         for p in payloads:
             head += struct.pack("<I", zlib.crc32(p))
+        mask = mask_blob if mask_blob is not None else b""
+        if v3:
+            head += struct.pack("<QI", len(mask), zlib.crc32(mask))
         struct.pack_into("<I", head, _HEADER_CRC_OFFSET, zlib.crc32(bytes(head)))
-        return bytes(head) + b"".join(payloads)
+        return bytes(head) + mask + b"".join(payloads)
 
     def _can_batch(self, mode: Mode, chunks: list[Chunk]) -> bool:
         """Whether the stacked-kernel path applies to this compress call.
@@ -200,15 +240,29 @@ class ChunkedCompressor(Compressor):
 
     def _parse(
         self, payload: bytes
-    ) -> tuple[int, tuple[int, ...], list[Chunk], list[bytes], list[int | None]]:
-        """Decode the tile framing (v1 or v2) without touching tile payloads."""
+    ) -> tuple[
+        int,
+        tuple[int, ...],
+        list[Chunk],
+        list[bytes],
+        list[int | None],
+        np.dtype,
+        bytes | None,
+        int | None,
+    ]:
+        """Decode the tile framing (v1–v3) without touching tile payloads."""
         if payload[:4] == _MAGIC_V1:
             version = 1
         elif payload[:4] == _MAGIC_V2:
             version = 2
+        elif payload[:4] == _MAGIC_V3:
+            version = 3
         else:
             raise StreamFormatError("not a chunked-compressor payload")
         pos = 4
+        dtype = np.dtype(np.float64)
+        mask_blob: bytes | None = None
+        mask_crc: int | None = None
         try:
             stored_crc = None
             if version >= 2:
@@ -218,6 +272,12 @@ class ChunkedCompressor(Compressor):
             pos += 1
             if rank < 1 or rank > 3:
                 raise StreamFormatError(f"invalid rank {rank}")
+            if version >= 3:
+                (dtype_code,) = struct.unpack_from("<B", payload, pos)
+                pos += 1
+                if dtype_code not in _DTYPE_BY_CODE:
+                    raise StreamFormatError(f"invalid dtype code {dtype_code}")
+                dtype = _DTYPE_BY_CODE[dtype_code]
             shape = struct.unpack_from(f"<{rank}Q", payload, pos)
             pos += 8 * rank
             (n_chunks,) = struct.unpack_from("<I", payload, pos)
@@ -252,12 +312,25 @@ class ChunkedCompressor(Compressor):
             if version >= 2:
                 crcs = list(struct.unpack_from(f"<{n_chunks}I", payload, pos))
                 pos += 4 * n_chunks
+            mask_nbytes = 0
+            if version >= 3:
+                mask_nbytes, mask_crc = struct.unpack_from("<QI", payload, pos)
+                pos += 12
+            if version >= 2:
                 header = bytearray(payload[:pos])
                 header[_HEADER_CRC_OFFSET : _HEADER_CRC_OFFSET + 4] = b"\x00" * 4
                 if zlib.crc32(bytes(header)) != stored_crc:
                     raise IntegrityError("chunked header CRC mismatch")
         except struct.error as exc:
             raise StreamFormatError(f"chunked header truncated: {exc}") from exc
+        if mask_nbytes:
+            if mask_nbytes > len(payload) - pos:
+                raise StreamFormatError(
+                    f"chunked payload truncated: mask section declares "
+                    f"{mask_nbytes} bytes but only {len(payload) - pos} remain"
+                )
+            mask_blob = payload[pos : pos + mask_nbytes]
+            pos += mask_nbytes
         # Validate the declared section table against the payload that is
         # actually present before slicing any stream.
         declared = sum(int(s) for s in sizes)
@@ -276,7 +349,16 @@ class ChunkedCompressor(Compressor):
         for size in sizes:
             streams.append(payload[pos : pos + size])
             pos += size
-        return rank, tuple(int(s) for s in shape), chunks, streams, crcs
+        return (
+            rank,
+            tuple(int(s) for s in shape),
+            chunks,
+            streams,
+            crcs,
+            dtype,
+            mask_blob,
+            mask_crc,
+        )
 
     def decompress(
         self,
@@ -298,7 +380,16 @@ class ChunkedCompressor(Compressor):
             raise InvalidArgumentError(
                 f"on_error must be 'raise' or 'salvage', got {on_error!r}"
             )
-        _rank, shape, chunks, streams, crcs = self._parse(payload)
+        (
+            _rank,
+            shape,
+            chunks,
+            streams,
+            crcs,
+            dtype,
+            mask_blob,
+            mask_crc,
+        ) = self._parse(payload)
 
         if on_error == "raise":
             for i, (stream, crc) in enumerate(zip(streams, crcs)):
@@ -314,9 +405,13 @@ class ChunkedCompressor(Compressor):
                     workers=self.workers,
                     timeout=timeout,
                 )
-                return assemble(shape, chunks, parts)
+                out = assemble(shape, chunks, parts).astype(dtype, copy=False)
+                self._restore_mask(out, mask_blob, mask_crc)
+                return out
 
         version = 2 if crcs and crcs[0] is not None else 1
+        if mask_blob is not None or dtype == np.float32:
+            version = 3
         report = DecodeReport(format_version=version)
         items = [(s, c.shape, crc) for s, c, crc in zip(streams, chunks, crcs)]
         results, notes = robust_chunk_map(
@@ -337,4 +432,32 @@ class ChunkedCompressor(Compressor):
                     ChunkDecodeStatus(index=i, status=status, error=str(value))
                 )
                 parts.append(np.full(chunk.shape, fill_value, dtype=np.float64))
-        return DecodeResult(data=assemble(shape, chunks, parts), report=report)
+        out = assemble(shape, chunks, parts).astype(dtype, copy=False)
+        self._restore_mask(out, mask_blob, mask_crc, report)
+        return DecodeResult(data=out, report=report)
+
+    @staticmethod
+    def _restore_mask(
+        out: np.ndarray,
+        mask_blob: bytes | None,
+        mask_crc: int | None,
+        report: DecodeReport | None = None,
+    ) -> None:
+        """Re-poke NaN/Inf samples recorded in a v3 mask section.
+
+        Strict decodes raise on a damaged mask; salvage decodes note the
+        loss and keep the filled values (which are legitimate data — the
+        fill is smooth and within the codec's error bound elsewhere).
+        """
+        from ..core.mask import apply_mask, decode_mask
+
+        if mask_blob is None:
+            return
+        try:
+            if mask_crc is not None and zlib.crc32(mask_blob) != mask_crc:
+                raise IntegrityError("chunked mask CRC mismatch")
+            apply_mask(out, decode_mask(mask_blob, out.size))
+        except (IntegrityError, StreamFormatError) as exc:
+            if report is None:
+                raise
+            report.notes.append(f"mask section unrecoverable: {exc}")

@@ -1,0 +1,114 @@
+"""Input-hardening adapter that gives any baseline codec the same
+NaN/Inf and dtype robustness the SPERR container grew natively.
+
+The baselines' payload formats predate the mask work and assume finite
+float64 input.  Rather than revising four stream formats, this wrapper
+applies :func:`repro.core.mask.sanitize_array` at the boundary and
+records what it did in a small prefix frame:
+
+``MSKW`` | header CRC32 | dtype code u8 | mask_nbytes u64 | mask_crc u32
+| RLE mask blob | inner payload
+
+The frame is emitted only when there is something to record — a
+non-float64 input dtype or non-finite samples.  Finite float64 inputs
+pass straight through, so wrapped payloads stay byte-identical to the
+bare codec's and old payloads remain decodable (:meth:`decompress`
+falls back to the inner codec when the magic is absent).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from ..core.mask import (
+    apply_mask,
+    decode_mask,
+    encode_mask,
+    sanitize_array,
+    tighten_pwe_for_dtype,
+)
+from ..errors import IntegrityError, InvalidArgumentError, StreamFormatError
+from .base import Compressor, Mode
+
+__all__ = ["MaskedCompressor"]
+
+_MAGIC = b"MSKW"
+_HEADER_CRC_OFFSET = 4
+_HEADER_FMT = "<BQI"  # dtype code, mask_nbytes, mask_crc
+_HEADER_SIZE = 4 + 4 + struct.calcsize(_HEADER_FMT)
+
+_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+_DTYPE_BY_CODE = {v: k for k, v in _DTYPE_CODES.items()}
+
+
+class MaskedCompressor(Compressor):
+    """Sanitize-and-restore adapter around any :class:`Compressor`."""
+
+    def __init__(self, inner: Compressor) -> None:
+        if isinstance(inner, MaskedCompressor):
+            raise InvalidArgumentError("refusing to nest masked compressors")
+        self.inner = inner
+        self.name = f"{inner.name}+mask"
+        self.supported_modes = inner.supported_modes
+        #: degradation notes from the most recent :meth:`compress` call
+        self.last_notes: list = []
+
+    def compress(self, data: np.ndarray, mode: Mode) -> bytes:
+        """Sanitize, run the inner codec, prepend the mask frame if needed."""
+        self.check_mode(mode)
+        data = np.asarray(data)
+        dtype = (
+            np.dtype(np.float32)
+            if data.dtype == np.float32
+            else np.dtype(np.float64)
+        )
+        clean, mask_codes, self.last_notes = sanitize_array(
+            data.astype(dtype, copy=False)
+        )
+        mode = tighten_pwe_for_dtype(mode, clean)
+        payload = self.inner.compress(np.asarray(clean, dtype=np.float64), mode)
+        if mask_codes is None and dtype == np.float64:
+            return payload
+        mask = b"" if mask_codes is None else encode_mask(mask_codes)
+        head = bytearray()
+        head += _MAGIC
+        head += b"\x00\x00\x00\x00"  # header CRC, patched below
+        head += struct.pack(
+            _HEADER_FMT, _DTYPE_CODES[dtype], len(mask), zlib.crc32(mask)
+        )
+        struct.pack_into("<I", head, _HEADER_CRC_OFFSET, zlib.crc32(bytes(head)))
+        return bytes(head) + mask + payload
+
+    def decompress(self, payload: bytes) -> np.ndarray:
+        """Inner decode plus dtype cast and NaN/Inf restoration."""
+        if payload[:4] != _MAGIC:
+            return self.inner.decompress(payload)
+        if len(payload) < _HEADER_SIZE:
+            raise StreamFormatError("masked-compressor header truncated")
+        (stored_crc,) = struct.unpack_from("<I", payload, _HEADER_CRC_OFFSET)
+        header = bytearray(payload[:_HEADER_SIZE])
+        header[_HEADER_CRC_OFFSET : _HEADER_CRC_OFFSET + 4] = b"\x00" * 4
+        if zlib.crc32(bytes(header)) != stored_crc:
+            raise IntegrityError("masked-compressor header CRC mismatch")
+        dtype_code, mask_nbytes, mask_crc = struct.unpack_from(
+            _HEADER_FMT, payload, 8
+        )
+        if dtype_code not in _DTYPE_BY_CODE:
+            raise StreamFormatError(f"invalid dtype code {dtype_code}")
+        if mask_nbytes > len(payload) - _HEADER_SIZE:
+            raise StreamFormatError(
+                f"masked-compressor payload truncated: mask declares "
+                f"{mask_nbytes} bytes but only "
+                f"{len(payload) - _HEADER_SIZE} remain"
+            )
+        mask = payload[_HEADER_SIZE : _HEADER_SIZE + mask_nbytes]
+        if mask_nbytes and zlib.crc32(mask) != mask_crc:
+            raise IntegrityError("masked-compressor mask CRC mismatch")
+        out = self.inner.decompress(payload[_HEADER_SIZE + mask_nbytes :])
+        out = out.astype(_DTYPE_BY_CODE[dtype_code], copy=False)
+        if mask_nbytes:
+            apply_mask(out, decode_mask(mask, out.size))
+        return out

@@ -34,6 +34,8 @@ class SperrCompressor(Compressor):
         self.workers = workers
         #: per-chunk reports from the most recent :meth:`compress` call
         self.last_reports = []
+        #: degradation notes from the most recent :meth:`compress` call
+        self.last_notes = []
 
     def compress(self, data: np.ndarray, mode: Mode) -> bytes:
         """Run the SPERR pipeline; per-chunk reports land in last_reports."""
@@ -48,6 +50,7 @@ class SperrCompressor(Compressor):
             workers=self.workers,
         )
         self.last_reports = result.reports
+        self.last_notes = result.notes
         return result.payload
 
     def decompress(self, payload: bytes) -> np.ndarray:

@@ -13,6 +13,16 @@ from .container import (
     decompress,
     parse_container,
 )
+from .mask import (
+    DegradationNote,
+    apply_mask,
+    classify_nonfinite,
+    decode_mask,
+    encode_mask,
+    fill_masked,
+    mask_summary,
+    sanitize_array,
+)
 from .modes import Q_FACTOR, PsnrMode, PweMode, SizeMode, data_range, tolerance_from_idx
 from .parallel import (
     EXECUTORS,
@@ -33,6 +43,14 @@ __all__ = [
     "ChunkDecodeStatus",
     "ChunkReport",
     "CompressionResult",
+    "DegradationNote",
+    "apply_mask",
+    "classify_nonfinite",
+    "decode_mask",
+    "encode_mask",
+    "fill_masked",
+    "mask_summary",
+    "sanitize_array",
     "DEFAULT_CHUNK",
     "DecodeReport",
     "DecodeResult",

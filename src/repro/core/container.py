@@ -17,7 +17,12 @@ Layout of a version-2 ``.sperr`` container::
 
 Version 1 (magic ``SPRRPY1\\0``) lacks the two CRC layers; v1 payloads
 remain readable and decode bit-identically (`parse_container` reports
-``format_version``).  Each chunk payload is the self-contained stream of
+``format_version``).  Version 3 (magic ``SPRRPY3\\0``) appends a
+non-finite mask field to the chunk table — ``mask nbytes u64`` and
+``mask CRC32 u32`` after the per-chunk CRCs, with the RLE-coded mask
+blob (:mod:`repro.core.mask`) placed between the header and the first
+chunk payload.  v3 is written only when the input carries NaN/Inf
+samples; finite inputs keep producing byte-identical v2 payloads.  Each chunk payload is the self-contained stream of
 :func:`repro.core.pipeline.compress_chunk`, mirroring real SPERR's
 concatenation of independent per-chunk bitstreams (Sec. III-D).  The
 per-chunk CRCs make chunk independence a *fault-isolation* boundary:
@@ -45,6 +50,14 @@ from ..errors import (
     decode_guard,
 )
 from .chunking import Chunk, assemble, plan_chunks
+from .mask import (
+    DegradationNote,
+    apply_mask,
+    decode_mask,
+    encode_mask,
+    sanitize_array,
+    tighten_pwe_for_dtype,
+)
 from .modes import PsnrMode, PweMode, SizeMode
 from .parallel import map_chunk_arrays, robust_chunk_map
 from .pipeline import ChunkReport, compress_chunk, decompress_chunk
@@ -55,7 +68,9 @@ __all__ = [
     "ChunkDecodeStatus",
     "DecodeReport",
     "DecodeResult",
+    "DegradationNote",
     "CONTAINER_VERSION",
+    "MASKED_CONTAINER_VERSION",
     "MAX_TOTAL_POINTS",
     "compress",
     "decompress",
@@ -65,10 +80,17 @@ __all__ = [
 
 _MAGIC_V1 = b"SPRRPY1\x00"
 _MAGIC_V2 = b"SPRRPY2\x00"
-_MAGIC_BY_VERSION = {1: _MAGIC_V1, 2: _MAGIC_V2}
+_MAGIC_V3 = b"SPRRPY3\x00"
+_MAGIC_BY_VERSION = {1: _MAGIC_V1, 2: _MAGIC_V2, 3: _MAGIC_V3}
 
 #: Container format version written by :func:`build_container` by default.
+#: Version 3 adds the non-finite mask section and is only emitted for
+#: inputs that actually carry NaN/Inf samples, so fully-finite payloads
+#: stay byte-identical to version 2.
 CONTAINER_VERSION = 2
+
+#: Container version carrying a non-finite sample mask (see layout above).
+MASKED_CONTAINER_VERSION = 3
 
 #: Hard cap on the number of points a container may declare before the
 #: decoder allocates the output volume.  Untrusted shape fields beyond
@@ -89,12 +111,15 @@ class CompressionResult:
 
     ``trace`` is a :class:`~repro.obs.TraceReport` when :func:`compress`
     ran with ``trace=True`` (and no ambient trace was already
-    collecting); otherwise ``None``.
+    collecting); otherwise ``None``.  ``notes`` lists every
+    :class:`~repro.core.mask.DegradationNote` the input-hardening layer
+    absorbed (masked samples, constant fields, denormal-heavy data).
     """
 
     payload: bytes
     reports: list[ChunkReport]
     trace: "obs.TraceReport | None" = None
+    notes: list[DegradationNote] = field(default_factory=list)
 
     @property
     def nbytes(self) -> int:
@@ -235,26 +260,11 @@ def _compress_impl(
             raise InvalidArgumentError(f"unsupported dtype {data.dtype}")
     if data.ndim < 1 or data.ndim > 3:
         raise InvalidArgumentError("only 1-D, 2-D, and 3-D arrays are supported")
-    if (
-        data.dtype == np.float32
-        and isinstance(mode, PweMode)
-        and data.size
-        and np.isfinite(data.max() - data.min())
-    ):
-        # The reconstruction is rounded back to float32; a tolerance near
-        # or below single-precision ULP of the data cannot survive that
-        # rounding.  Mirrors the paper's idx caps for single-precision
-        # fields (idx <= 25-35, Sec. VI-C).
-        ulp = float(np.max(np.abs(data))) * 2.0**-23
-        if mode.tolerance <= 0.5 * ulp:
-            raise InvalidArgumentError(
-                f"tolerance {mode.tolerance:g} is below float32 precision "
-                f"(~{ulp:g}) for this data; use float64 input or a looser "
-                "tolerance"
-            )
-        # Compress against a tolerance tightened by the worst-case cast
-        # rounding, so the bound holds on the float32 output too.
-        mode = PweMode(mode.tolerance - 0.5 * ulp, q_factor=mode.q_factor)
+    # Input hardening happens once, before any executor dispatch, so the
+    # batch / serial / thread / process paths all see the same finite
+    # field and stay byte-identical on masked inputs.
+    data, mask_codes, notes = sanitize_array(data)
+    mode = tighten_pwe_for_dtype(mode, data)
 
     chunks = plan_chunks(data.shape, chunk_shape)
 
@@ -296,11 +306,21 @@ def _compress_impl(
 
         mode_code = 0 if isinstance(mode, PweMode) else (2 if isinstance(mode, PsnrMode) else 1)
         with obs.span("container.build", n_chunks=len(chunks)):
+            mask_blob = None if mask_codes is None else encode_mask(mask_codes)
             payload = build_container(
-                data.ndim, np.dtype(data.dtype), mode_code, data.shape, chunks, streams
+                data.ndim,
+                np.dtype(data.dtype),
+                mode_code,
+                data.shape,
+                chunks,
+                streams,
+                mask_blob=mask_blob,
+                version=CONTAINER_VERSION
+                if mask_blob is None
+                else MASKED_CONTAINER_VERSION,
             )
         obs.add_counter("container.bytes", len(payload))
-    return CompressionResult(payload=payload, reports=reports)
+    return CompressionResult(payload=payload, reports=reports, notes=notes)
 
 
 @dataclass(frozen=True)
@@ -308,8 +328,12 @@ class ParsedContainer:
     """Structural view of a container payload (headers decoded, chunk
     streams still lossless-compressed).
 
-    ``format_version`` is 1 for legacy payloads and 2 for CRC-protected
-    ones; ``chunk_crcs`` is ``None`` on v1 payloads.
+    ``format_version`` is 1 for legacy payloads, 2 for CRC-protected
+    ones, and 3 for CRC-protected payloads carrying a non-finite sample
+    mask; ``chunk_crcs`` is ``None`` on v1 payloads.  ``mask_blob`` is
+    the raw (still lossless-compressed) mask section of a v3 payload —
+    its stored CRC is in ``mask_crc`` and is verified by
+    :func:`decompress`, not here, so salvage can survive mask damage.
     """
 
     rank: int
@@ -320,6 +344,8 @@ class ParsedContainer:
     streams: list[bytes]
     format_version: int = CONTAINER_VERSION
     chunk_crcs: tuple[int, ...] | None = None
+    mask_blob: bytes | None = None
+    mask_crc: int | None = None
 
 
 def parse_container(payload: bytes) -> ParsedContainer:
@@ -334,6 +360,8 @@ def parse_container(payload: bytes) -> ParsedContainer:
         version = 1
     elif payload[:8] == _MAGIC_V2:
         version = 2
+    elif payload[:8] == _MAGIC_V3:
+        version = 3
     else:
         raise StreamFormatError("not a SPERR container (bad magic)")
     try:
@@ -383,13 +411,27 @@ def _parse_container_body(payload: bytes, version: int) -> ParsedContainer:
     sizes = struct.unpack_from(f"<{n_chunks}Q", payload, pos)
     pos += 8 * n_chunks
     chunk_crcs: tuple[int, ...] | None = None
+    mask_nbytes = 0
+    mask_crc: int | None = None
     if version >= 2:
         chunk_crcs = struct.unpack_from(f"<{n_chunks}I", payload, pos)
         pos += 4 * n_chunks
+        if version >= 3:
+            mask_nbytes, mask_crc = struct.unpack_from("<QI", payload, pos)
+            pos += 12
         header = bytearray(payload[:pos])
         header[_HEADER_CRC_OFFSET : _HEADER_CRC_OFFSET + 4] = b"\x00\x00\x00\x00"
         if zlib.crc32(bytes(header)) != stored_header_crc:
             raise IntegrityError("container header CRC mismatch")
+    if mask_nbytes > len(payload) - pos:
+        raise StreamFormatError(
+            f"container declares a {mask_nbytes}-byte mask but only "
+            f"{len(payload) - pos} bytes remain"
+        )
+    mask_blob: bytes | None = None
+    if version >= 3 and mask_nbytes:
+        mask_blob = payload[pos : pos + mask_nbytes]
+        pos += mask_nbytes
     declared = sum(int(s) for s in sizes)
     if declared > len(payload) - pos:
         raise StreamFormatError(
@@ -414,6 +456,8 @@ def _parse_container_body(payload: bytes, version: int) -> ParsedContainer:
         streams=streams,
         format_version=version,
         chunk_crcs=chunk_crcs,
+        mask_blob=mask_blob,
+        mask_crc=mask_crc,
     )
 
 
@@ -426,14 +470,21 @@ def build_container(
     streams: list[bytes],
     *,
     version: int = CONTAINER_VERSION,
+    mask_blob: bytes | None = None,
 ) -> bytes:
     """Assemble a container payload from its parts (inverse of parsing).
 
     ``version=2`` (default) writes the CRC-protected layout; ``version=1``
     reproduces the legacy byte layout for compatibility testing.
+    ``mask_blob`` (an :func:`repro.core.mask.encode_mask` record)
+    requires ``version=3``.
     """
     if version not in _MAGIC_BY_VERSION:
         raise InvalidArgumentError(f"unknown container version {version}")
+    if mask_blob is not None and version < 3:
+        raise InvalidArgumentError(
+            f"a non-finite mask needs container version 3, got {version}"
+        )
     head = bytearray()
     head += _MAGIC_BY_VERSION[version]
     head += struct.pack("<BBBB", rank, _DTYPES[np.dtype(dtype)], mode_code, 1)
@@ -446,11 +497,14 @@ def build_container(
             head += struct.pack("<QQ", a, b)
     for s in streams:
         head += struct.pack("<Q", len(s))
+    mask = mask_blob or b""
     if version >= 2:
         for s in streams:
             head += struct.pack("<I", zlib.crc32(s))
+        if version >= 3:
+            head += struct.pack("<QI", len(mask), zlib.crc32(mask))
         struct.pack_into("<I", head, _HEADER_CRC_OFFSET, zlib.crc32(bytes(head)))
-    return bytes(head) + b"".join(streams)
+    return bytes(head) + mask + b"".join(streams)
 
 
 @dataclass(frozen=True)
@@ -581,7 +635,9 @@ def decompress(
             )
             with obs.span("container.assemble"):
                 out = assemble(parsed.shape, parsed.chunks, parts)
-            return out.astype(parsed.dtype, copy=False)
+            out = out.astype(parsed.dtype, copy=False)
+            _restore_mask(out, parsed)
+            return out
 
         report = DecodeReport(format_version=parsed.format_version)
         work = partial(_salvage_chunk_job, rank=parsed.rank)
@@ -605,4 +661,31 @@ def decompress(
                 parts.append(np.full(chunk.shape, fill_value, dtype=np.float64))
         with obs.span("container.assemble"):
             out = assemble(parsed.shape, parsed.chunks, parts)
-        return DecodeResult(data=out.astype(parsed.dtype, copy=False), report=report)
+        out = out.astype(parsed.dtype, copy=False)
+        _restore_mask(out, parsed, report)
+        return DecodeResult(data=out, report=report)
+
+
+def _restore_mask(
+    out: np.ndarray, parsed: ParsedContainer, report: DecodeReport | None = None
+) -> None:
+    """Re-impose a v3 payload's NaN/±Inf pattern onto the decoded volume.
+
+    In strict mode (``report=None``) a damaged mask raises; in salvage
+    mode the damage is recorded as a report note and the decode proceeds
+    without the mask (the fill values are legitimate in-range data, so
+    nothing unflagged leaks out).
+    """
+    if parsed.mask_blob is None:
+        return
+    try:
+        if (
+            parsed.mask_crc is not None
+            and zlib.crc32(parsed.mask_blob) != parsed.mask_crc
+        ):
+            raise IntegrityError("container mask CRC mismatch")
+        apply_mask(out, decode_mask(parsed.mask_blob, out.size))
+    except (IntegrityError, StreamFormatError) as exc:
+        if report is None:
+            raise
+        report.notes.append(f"mask section unrecoverable: {exc}")

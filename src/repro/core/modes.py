@@ -89,10 +89,20 @@ class PsnrMode:
 
 
 def data_range(data: np.ndarray) -> float:
-    """``max(f) - min(f)`` of a field (the Range of Table I)."""
+    """``max(f) - min(f)`` of a field (the Range of Table I).
+
+    Non-finite samples (NaN/Inf mask regions, see :mod:`repro.core.mask`)
+    are excluded: the range — like the PWE contract — is defined over
+    the valid samples only.
+    """
     data = np.asarray(data)
     if data.size == 0:
         raise InvalidArgumentError("empty array has no range")
+    finite = np.isfinite(data)
+    if not finite.all():
+        data = data[finite]
+        if data.size == 0:
+            raise InvalidArgumentError("all samples are non-finite; no range")
     return float(data.max() - data.min())
 
 

@@ -15,12 +15,24 @@ from .fields import (
     s3d_velocity_x,
 )
 from .kodak import lighthouse
+from .scenarios import (
+    SCENARIOS,
+    SMOKE_SCENARIOS,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+)
 from .simulation import AdvectionDiffusion
 from .spectral import radial_wavenumber, spectral_field
 
 __all__ = [
     "FIELDS",
     "get_field",
+    "Scenario",
+    "SCENARIOS",
+    "SMOKE_SCENARIOS",
+    "get_scenario",
+    "list_scenarios",
     "lighthouse",
     "AdvectionDiffusion",
     "radial_wavenumber",

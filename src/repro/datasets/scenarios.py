@@ -1,0 +1,224 @@
+"""Declarative robustness-scenario registry.
+
+SDRBench fields are not clean float64 cubes: ocean models carry
+land-mask NaN regions, restart dumps are float32, diagnostics overflow
+to ±Inf, and domain decompositions produce prime-sized and strongly
+non-cubic tiles.  This registry enumerates those shapes of trouble as
+named, deterministic scenarios so the robustness matrix
+(:mod:`repro.analysis.scorecard`) and the test suite share one
+substrate instead of ad-hoc field functions.
+
+A scenario is ``variant × ndim × dtype``:
+
+* variants — ``smooth`` (well-behaved baseline), ``masked`` (NaN block
+  + scattered ±Inf), ``constant``, ``denormal`` (heavy subnormal
+  fraction), ``prime`` (prime axis extents), ``noncubic`` (16:1 aspect
+  ratio);
+* ndim — 2-D, 3-D, and 4-D (a short time series of 3-D frames);
+* dtype — float32 and float64.
+
+Every scenario builds from a fixed seed, so two processes always see
+bit-identical arrays.  ``SMOKE_SCENARIOS`` is the tier-1 subset; the
+full registry backs the opt-in CI sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..errors import InvalidArgumentError
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "SMOKE_SCENARIOS",
+    "get_scenario",
+    "list_scenarios",
+]
+
+#: Axis extents per dimensionality, chosen small enough that the full
+#: matrix stays CI-sized but large enough for several wavelet levels.
+_SHAPES = {
+    "2d": {
+        "default": (64, 64),
+        "prime": (61, 67),
+        "noncubic": (128, 8),
+    },
+    "3d": {
+        "default": (32, 32, 32),
+        "prime": (17, 19, 23),
+        "noncubic": (64, 16, 4),
+    },
+    "4d": {
+        "default": (3, 24, 24, 24),
+        "prime": (3, 13, 17, 19),
+        "noncubic": (3, 48, 12, 4),
+    },
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named robustness scenario.
+
+    ``build()`` returns a fresh array every call (scenarios are
+    deterministic in their baked-in seed, so repeated builds are
+    bit-identical).  ``tags`` supports registry filtering; ``smoke``
+    marks membership in the tier-1 subset.
+    """
+
+    name: str
+    description: str
+    shape: tuple[int, ...]
+    dtype: str
+    tags: frozenset = field(default_factory=frozenset)
+    smoke: bool = False
+    _builder: Callable[[], np.ndarray] | None = None
+
+    def build(self) -> np.ndarray:
+        """Materialize the scenario's input array."""
+        assert self._builder is not None
+        data = self._builder()
+        assert data.shape == self.shape and str(data.dtype) == self.dtype
+        return data
+
+
+def _base_field(shape: tuple[int, ...], seed: int) -> np.ndarray:
+    """Smooth-but-structured field: filtered noise plus a slow trend.
+
+    Deliberately cheaper than the spectral generators in
+    :mod:`repro.datasets.fields` — the matrix builds dozens of these.
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(shape)
+    for ax in range(data.ndim):
+        for _ in range(3):  # light smoothing: repeated axis-mean filter
+            data = 0.5 * data + 0.25 * (
+                np.roll(data, 1, axis=ax) + np.roll(data, -1, axis=ax)
+            )
+    grids = np.meshgrid(
+        *[np.linspace(0.0, 1.0, n) for n in shape], indexing="ij"
+    )
+    return 4.0 * data + np.sin(2 * np.pi * grids[-1]) + grids[0]
+
+
+def _masked_field(shape: tuple[int, ...], seed: int) -> np.ndarray:
+    """Base field with an ocean-style NaN block and scattered ±Inf."""
+    data = _base_field(shape, seed)
+    block = tuple(slice(0, max(1, n // 4)) for n in shape)
+    data[block] = np.nan
+    rng = np.random.default_rng(seed + 1)
+    flat = data.reshape(-1)
+    idx = rng.choice(flat.size, size=max(2, flat.size // 500), replace=False)
+    flat[idx[: len(idx) // 2]] = np.inf
+    flat[idx[len(idx) // 2 :]] = -np.inf
+    return data
+
+
+def _constant_field(shape: tuple[int, ...], seed: int) -> np.ndarray:
+    return np.full(shape, 3.25)
+
+
+def _denormal_field(shape: tuple[int, ...], seed: int) -> np.ndarray:
+    """Normal-range field where >25% of samples are subnormal."""
+    data = _base_field(shape, seed)
+    rng = np.random.default_rng(seed + 2)
+    flat = data.reshape(-1)
+    n_sub = flat.size // 3
+    idx = rng.choice(flat.size, size=n_sub, replace=False)
+    flat[idx] = rng.uniform(0.1, 0.9, size=n_sub) * 1e-310
+    return data
+
+
+_VARIANTS: dict[str, tuple[str, Callable, str]] = {
+    # variant -> (shape key, raw float64 builder, description)
+    "smooth": ("default", _base_field, "well-behaved smooth field"),
+    "masked": ("default", _masked_field, "NaN block + scattered ±Inf"),
+    "constant": ("default", _constant_field, "constant field (zero range)"),
+    "denormal": ("default", _denormal_field, "subnormal-heavy samples"),
+    "prime": ("prime", _base_field, "prime axis extents"),
+    "noncubic": ("noncubic", _base_field, "16:1 aspect-ratio tile"),
+}
+
+#: Variants in the tier-1 smoke subset (3-D only, both dtypes).
+_SMOKE_VARIANTS = ("smooth", "masked", "constant", "prime")
+
+
+def _make_builder(
+    builder: Callable, shape: tuple[int, ...], seed: int, dtype: np.dtype
+) -> Callable[[], np.ndarray]:
+    def build() -> np.ndarray:
+        data = builder(shape, seed)
+        if dtype == np.float32:
+            data = data.astype(np.float32)
+            # float64 subnormals underflow to 0 in float32; re-seed the
+            # denormal fraction at float32 scale so the scenario still
+            # stresses what its name promises.
+            if builder is _denormal_field:
+                rng = np.random.default_rng(seed + 3)
+                flat = data.reshape(-1)
+                idx = rng.choice(
+                    flat.size, size=flat.size // 3, replace=False
+                )
+                flat[idx] = (
+                    rng.uniform(0.1, 0.9, size=idx.size) * 1e-41
+                ).astype(np.float32)
+        return data
+
+    return build
+
+
+def _build_registry() -> dict[str, Scenario]:
+    registry: dict[str, Scenario] = {}
+    seed = 100
+    for variant, (shape_key, builder, desc) in _VARIANTS.items():
+        for ndim_key in ("2d", "3d", "4d"):
+            shape = _SHAPES[ndim_key][shape_key]
+            for dtype in (np.dtype(np.float64), np.dtype(np.float32)):
+                seed += 1
+                name = f"{variant}-{ndim_key}-{dtype.name[-2:]}"
+                smoke = variant in _SMOKE_VARIANTS and ndim_key == "3d"
+                registry[name] = Scenario(
+                    name=name,
+                    description=f"{desc}, {ndim_key} {dtype.name}",
+                    shape=shape,
+                    dtype=dtype.name,
+                    tags=frozenset({variant, ndim_key, dtype.name}),
+                    smoke=smoke,
+                    _builder=_make_builder(builder, shape, seed, dtype),
+                )
+    return registry
+
+
+#: All registered scenarios, keyed by name (e.g. ``masked-3d-64``).
+SCENARIOS: dict[str, Scenario] = _build_registry()
+
+#: The tier-1 smoke subset.
+SMOKE_SCENARIOS: dict[str, Scenario] = {
+    name: s for name, s in SCENARIOS.items() if s.smoke
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up one scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise InvalidArgumentError(
+            f"unknown scenario {name!r}; see repro.datasets.scenarios.SCENARIOS"
+        ) from None
+
+
+def list_scenarios(
+    tags: Iterable[str] | None = None, smoke_only: bool = False
+) -> list[Scenario]:
+    """Scenarios matching every tag in ``tags`` (and the smoke flag)."""
+    wanted = frozenset(tags or ())
+    return [
+        s
+        for s in SCENARIOS.values()
+        if wanted <= s.tags and (s.smoke or not smoke_only)
+    ]

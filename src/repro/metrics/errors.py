@@ -1,4 +1,11 @@
-"""Error metrics used throughout the paper's evaluation."""
+"""Error metrics used throughout the paper's evaluation.
+
+Every pointwise metric takes an optional ``mask`` — a boolean array
+marking the *valid* samples — so fields with NaN/Inf regions (ocean
+land masks, overflowed diagnostics; see :mod:`repro.core.mask`) can be
+scored on exactly the samples the PWE contract covers.  ``mask=None``
+keeps the historical behavior of scoring every sample.
+"""
 
 from __future__ import annotations
 
@@ -9,38 +16,63 @@ from ..errors import InvalidArgumentError
 __all__ = ["mse", "rmse", "max_pwe", "psnr", "snr_db", "bitrate_bpp"]
 
 
-def _pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _pair(
+    a: np.ndarray, b: np.ndarray, mask: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     if a.shape != b.shape:
         raise InvalidArgumentError(f"shape mismatch {a.shape} vs {b.shape}")
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != a.shape:
+            raise InvalidArgumentError(
+                f"mask shape {mask.shape} does not match data shape {a.shape}"
+            )
+        a, b = a[mask], b[mask]
     if a.size == 0:
-        raise InvalidArgumentError("empty arrays have no error metrics")
+        raise InvalidArgumentError("no valid samples to score")
     return a, b
 
 
-def mse(original: np.ndarray, reconstruction: np.ndarray) -> float:
-    """Mean squared error."""
-    a, b = _pair(original, reconstruction)
+def mse(
+    original: np.ndarray,
+    reconstruction: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> float:
+    """Mean squared error (over the valid samples when ``mask`` given)."""
+    a, b = _pair(original, reconstruction, mask)
     return float(np.mean((a - b) ** 2))
 
 
-def rmse(original: np.ndarray, reconstruction: np.ndarray) -> float:
+def rmse(
+    original: np.ndarray,
+    reconstruction: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> float:
     """Root-mean-square error (the E of the accuracy-gain formula)."""
-    return float(np.sqrt(mse(original, reconstruction)))
+    return float(np.sqrt(mse(original, reconstruction, mask)))
 
 
-def max_pwe(original: np.ndarray, reconstruction: np.ndarray) -> float:
+def max_pwe(
+    original: np.ndarray,
+    reconstruction: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> float:
     """Maximum point-wise error — the quantity SPERR bounds."""
-    a, b = _pair(original, reconstruction)
+    a, b = _pair(original, reconstruction, mask)
     return float(np.abs(a - b).max())
 
 
-def psnr(original: np.ndarray, reconstruction: np.ndarray) -> float:
+def psnr(
+    original: np.ndarray,
+    reconstruction: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> float:
     """Peak signal-to-noise ratio in dB, peak = data range of the original."""
-    a, b = _pair(original, reconstruction)
+    a, b = _pair(original, reconstruction, mask)
     rng = float(a.max() - a.min())
-    e = rmse(a, b)
+    e = float(np.sqrt(np.mean((a - b) ** 2)))
     if e == 0.0:
         return float("inf")
     if rng == 0.0:
@@ -48,11 +80,15 @@ def psnr(original: np.ndarray, reconstruction: np.ndarray) -> float:
     return 20.0 * np.log10(rng / e)
 
 
-def snr_db(original: np.ndarray, reconstruction: np.ndarray) -> float:
+def snr_db(
+    original: np.ndarray,
+    reconstruction: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> float:
     """Signal-to-noise ratio in dB using the original's standard deviation."""
-    a, b = _pair(original, reconstruction)
+    a, b = _pair(original, reconstruction, mask)
     sigma = float(a.std())
-    e = rmse(a, b)
+    e = float(np.sqrt(np.mean((a - b) ** 2)))
     if e == 0.0:
         return float("inf")
     if sigma == 0.0:

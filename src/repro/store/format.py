@@ -32,6 +32,15 @@ Index layout (little-endian)::
     n_shards    u32
     entries     n_frames * n_chunks * (u32 shard, u64 offset, u64 length, u32 crc)
 
+``SPRRIDX2`` extends the layout with a per-frame non-finite mask table
+(see :mod:`repro.core.mask`) appended after the entries::
+
+    mask table  n_frames * (u64 mask_nbytes, u32 mask_crc)
+    mask blobs  concatenated RLE mask blobs (mask_nbytes == 0 -> no mask)
+
+The v2 magic is written only when at least one frame actually carries
+NaN/Inf samples, so stores of finite data keep the v1 bytes.
+
 The index is untrusted input: :func:`parse_index` verifies the CRC
 before trusting any field and runs every shape/count through the
 :mod:`repro.errors` trust boundary (:func:`~repro.errors.decode_guard`,
@@ -63,6 +72,7 @@ __all__ = [
     "StoreIndex",
     "INDEX_NAME",
     "INDEX_MAGIC",
+    "INDEX_MAGIC_V2",
     "SHARD_MAGIC",
     "MAX_FRAMES",
     "DEFAULT_SHARD_BYTES",
@@ -72,6 +82,7 @@ __all__ = [
 ]
 
 INDEX_MAGIC = b"SPRRIDX1"
+INDEX_MAGIC_V2 = b"SPRRIDX2"
 SHARD_MAGIC = b"SPRRSHD1"
 
 #: File name of the footer index inside a store directory.
@@ -120,7 +131,8 @@ class StoreIndex:
     ``chunks`` is the chunk grid shared by every frame; ``entries`` is
     one tuple of :class:`ChunkEntry` per frame, in chunk-grid order.
     ``levels`` is ``None`` when the writer used the paper's automatic
-    per-axis level rule.
+    per-axis level rule.  ``frame_masks`` holds one RLE non-finite mask
+    blob (or ``None``) per frame; all-``None`` stores serialize as v1.
     """
 
     rank: int
@@ -132,6 +144,7 @@ class StoreIndex:
     levels: int | None
     n_shards: int
     entries: tuple[tuple[ChunkEntry, ...], ...]
+    frame_masks: tuple[bytes | None, ...] = ()
 
     @property
     def n_frames(self) -> int:
@@ -150,13 +163,23 @@ class StoreIndex:
 
 
 def pack_index(index: StoreIndex) -> bytes:
-    """Serialize a :class:`StoreIndex` (inverse of :func:`parse_index`)."""
+    """Serialize a :class:`StoreIndex` (inverse of :func:`parse_index`).
+
+    Emits the v2 magic (with the per-frame mask table) only when some
+    frame actually has a mask, so finite-data stores keep the v1 bytes.
+    """
     if index.rank != len(index.shape):
         raise InvalidArgumentError("index rank does not match its shape")
     if index.wavelet not in WAVELET_IDS:
         raise InvalidArgumentError(f"unknown wavelet {index.wavelet!r}")
+    masks: tuple[bytes | None, ...] = index.frame_masks or (None,) * index.n_frames
+    if len(masks) != index.n_frames:
+        raise InvalidArgumentError(
+            f"frame_masks has {len(masks)} entries for {index.n_frames} frames"
+        )
+    v2 = any(m is not None for m in masks)
     out = bytearray()
-    out += INDEX_MAGIC
+    out += INDEX_MAGIC_V2 if v2 else INDEX_MAGIC
     out += struct.pack(
         "<BBBB", index.rank, _DTYPES[np.dtype(index.dtype)], index.mode_code, 0
     )
@@ -178,6 +201,13 @@ def pack_index(index: StoreIndex) -> bytes:
             raise InvalidArgumentError("frame entry count does not match the grid")
         for e in frame:
             out += struct.pack(_ENTRY_FMT, e.shard, e.offset, e.length, e.crc32)
+    if v2:
+        for m in masks:
+            blob = m if m is not None else b""
+            out += struct.pack("<QI", len(blob), zlib.crc32(blob))
+        for m in masks:
+            if m is not None:
+                out += m
     struct.pack_into("<I", out, _INDEX_CRC_OFFSET, zlib.crc32(bytes(out)))
     return bytes(out)
 
@@ -189,13 +219,17 @@ def parse_index(payload: bytes) -> StoreIndex:
     trusted; malformed framing surfaces as
     :class:`~repro.errors.StreamFormatError` via the decode guard.
     """
-    if payload[:8] != INDEX_MAGIC:
+    if payload[:8] == INDEX_MAGIC:
+        version = 1
+    elif payload[:8] == INDEX_MAGIC_V2:
+        version = 2
+    else:
         raise StreamFormatError("not a store index (bad magic)")
     with decode_guard("store"):
-        return _parse_index_body(payload)
+        return _parse_index_body(payload, version)
 
 
-def _parse_index_body(payload: bytes) -> StoreIndex:
+def _parse_index_body(payload: bytes, version: int) -> StoreIndex:
     pos = 8
     rank, dtype_code, mode_code, _flags = struct.unpack_from("<BBBB", payload, pos)
     pos += 4
@@ -245,7 +279,9 @@ def _parse_index_body(payload: bytes) -> StoreIndex:
     if n_shards < 1:
         raise StreamFormatError("index declares zero shards")
     expected = pos + n_frames * n_chunks * _ENTRY_SIZE
-    if len(payload) != expected:
+    if version >= 2:
+        expected += n_frames * 12  # mask table, blob sizes checked below
+    if (len(payload) != expected if version < 2 else len(payload) < expected):
         raise StreamFormatError(
             f"index is {len(payload)} bytes, expected {expected} for "
             f"{n_frames} frames of {n_chunks} chunks"
@@ -273,6 +309,30 @@ def _parse_index_body(payload: bytes) -> StoreIndex:
                 )
             )
         entries.append(tuple(frame))
+    frame_masks: tuple[bytes | None, ...] = (None,) * n_frames
+    if version >= 2:
+        table = []
+        for _ in range(n_frames):
+            nbytes, crc = struct.unpack_from("<QI", payload, pos)
+            pos += 12
+            table.append((int(nbytes), int(crc)))
+        total = sum(n for n, _ in table)
+        if len(payload) != pos + total:
+            raise StreamFormatError(
+                f"index mask blobs declare {total} bytes but "
+                f"{len(payload) - pos} are present"
+            )
+        masks = []
+        for nbytes, crc in table:
+            if nbytes == 0:
+                masks.append(None)
+                continue
+            blob = payload[pos : pos + nbytes]
+            pos += nbytes
+            if zlib.crc32(blob) != crc:
+                raise IntegrityError("store index mask CRC mismatch")
+            masks.append(blob)
+        frame_masks = tuple(masks)
     return StoreIndex(
         rank=rank,
         dtype=_DTYPE_BY_CODE[dtype_code],
@@ -283,4 +343,5 @@ def _parse_index_body(payload: bytes) -> StoreIndex:
         levels=None if levels_code == LEVELS_AUTO else int(levels_code),
         n_shards=int(n_shards),
         entries=tuple(entries),
+        frame_masks=frame_masks,
     )

@@ -49,6 +49,7 @@ from ..errors import (
     decode_guard,
 )
 from ..core.container import ChunkDecodeStatus, DecodeReport, DecodeResult
+from ..core.mask import apply_mask, decode_mask, mask_summary
 from ..core.parallel import robust_chunk_map
 from ..core.pipeline import decompress_chunk
 from ..core.plans import wavelet_plan
@@ -218,6 +219,7 @@ class CompressedArray:
         self.cache = DecodedChunkCache(cache_bytes)
         self.executor = executor
         self.workers = workers
+        self._mask_codes: dict[int, np.ndarray] = {}
         self._build_grid()
 
     # -- geometry ---------------------------------------------------------
@@ -454,12 +456,35 @@ class CompressedArray:
                     bounds, level, parts, fill_value, salvage
                 )
             out = out.astype(self.dtype, copy=False)
+            if level == 0:
+                # Re-impose the frame's NaN/Inf pattern on the window.
+                # Coarse previews stay on the filled field: a coarse cell
+                # aggregates valid and masked fine samples, so there is
+                # no faithful mask to apply at level > 0.
+                codes = self._frame_mask_codes(frame)
+                if codes is not None:
+                    window_codes = codes[
+                        tuple(slice(lo, hi) for lo, hi in bounds)
+                    ]
+                    apply_mask(out, window_codes)
             if squeeze:
                 out = np.squeeze(out, axis=squeeze)
             obs.add_counter("store.bytes.served", out.nbytes)
         if salvage:
             return DecodeResult(data=out, report=report)
         return out
+
+    def _frame_mask_codes(self, frame: int) -> np.ndarray | None:
+        """Decoded (and cached) shaped mask-code array of ``frame``."""
+        masks = self._index.frame_masks
+        if not masks or masks[frame] is None:
+            return None
+        codes = self._mask_codes.get(frame)
+        if codes is None:
+            npoints = int(np.prod([int(s) for s in self.shape], dtype=np.int64))
+            codes = decode_mask(masks[frame], npoints).reshape(self.shape)
+            self._mask_codes[frame] = codes
+        return codes
 
     def _read_streams(
         self,
@@ -593,7 +618,12 @@ class CompressedArray:
         for s in range(index.n_shards):
             p = self.path / shard_name(s)
             shard_sizes.append(p.stat().st_size if p.exists() else None)
-        return {
+        masked_frames = [
+            f
+            for f, m in enumerate(index.frame_masks or ())
+            if m is not None
+        ]
+        info = {
             "path": str(self.path),
             "shape": index.shape,
             "dtype": str(index.dtype),
@@ -606,8 +636,17 @@ class CompressedArray:
             "max_level": self._max_level,
             "payload_bytes": index.payload_bytes,
             "shard_sizes": shard_sizes,
+            "masked_frames": masked_frames,
             "cache": self.cache.stats(),
         }
+        if masked_frames:
+            info["mask_bytes"] = sum(
+                len(m) for m in index.frame_masks if m is not None
+            )
+            info["mask_summary"] = {
+                f: mask_summary(self._frame_mask_codes(f)) for f in masked_frames
+            }
+        return info
 
 
 def open_store(

@@ -77,6 +77,7 @@ class StoreWriter:
         self.path.mkdir(parents=True, exist_ok=True)
         self._meta: dict | None = None  # rank/dtype/mode_code/shape/chunks
         self._entries: list[tuple[ChunkEntry, ...]] = []
+        self._frame_masks: list[bytes | None] = []
         self._shard_id = -1
         self._shard_file = None
         self._shard_pos = 0
@@ -147,6 +148,10 @@ class StoreWriter:
                 "store.bytes.written", sum(e.length for e in frame_entries)
             )
         self._entries.append(frame_entries)
+        # Frames with NaN/Inf samples carry their mask in the footer
+        # index (per-frame table), not in the shards — the chunk streams
+        # themselves stay mask-free and byte-identical to container ones.
+        self._frame_masks.append(parsed.mask_blob)
         return result
 
     def _write_stream(self, stream: bytes, crc: int) -> ChunkEntry:
@@ -169,6 +174,8 @@ class StoreWriter:
 
     def _close_shard(self) -> None:
         if self._shard_file is not None:
+            self._shard_file.flush()
+            os.fsync(self._shard_file.fileno())
             self._shard_file.close()
             self._shard_file = None
 
@@ -195,12 +202,28 @@ class StoreWriter:
             levels=self.levels,
             n_shards=self._shard_id + 1,
             entries=tuple(self._entries),
+            frame_masks=tuple(self._frame_masks),
         )
-        # Atomic index publication: a reader either sees no index (store
-        # unreadable) or the complete one, never a torn write.
+        # Durable, atomic index publication: the temp file is fsynced
+        # before the rename and the directory after it, so a crash at
+        # any point leaves either no index (store unreadable) or the
+        # complete one — never a torn write, and never a rename that
+        # itself vanishes because the directory entry was unsynced.
         tmp = self.path / (INDEX_NAME + ".tmp")
-        tmp.write_bytes(pack_index(index))
+        with open(tmp, "wb") as f:
+            f.write(pack_index(index))
+            f.flush()
+            os.fsync(f.fileno())
         os.replace(tmp, self.path / INDEX_NAME)
+        try:
+            dir_fd = os.open(self.path, os.O_RDONLY)
+        except OSError:
+            pass  # platforms without directory fds lose only the dir sync
+        else:
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
         self._closed = True
         return index
 

@@ -36,8 +36,11 @@ __all__ = [
     "FuzzViolation",
     "FuzzReport",
     "FAULT_OPERATORS",
+    "ARRAY_FAULT_OPERATORS",
     "corrupt",
+    "inject_nonfinite",
     "fuzz_decoder",
+    "fuzz_codec_inputs",
 ]
 
 
@@ -150,6 +153,61 @@ FAULT_OPERATORS: dict[str, FaultOperator] = {
 }
 
 
+# -- input-array fault model ---------------------------------------------
+#
+# Bitstream corruption (above) models what storage does to *payloads*;
+# these operators model what simulations do to *inputs*: NaN land
+# masks, ±Inf overflow points, and fully-invalid frames.  Each is a
+# pure function ``(array, rng) -> array`` returning a modified copy.
+
+
+def _inject_scattered_nan(data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Poke NaN into a random 0.1-10% of the samples."""
+    out = np.array(data, copy=True)
+    flat = out.reshape(-1)
+    n = max(1, int(flat.size * float(rng.uniform(0.001, 0.1))))
+    flat[rng.choice(flat.size, size=n, replace=False)] = np.nan
+    return out
+
+
+def _inject_scattered_inf(data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Poke ±Inf overflow points into a random handful of samples."""
+    out = np.array(data, copy=True)
+    flat = out.reshape(-1)
+    n = max(2, int(flat.size * float(rng.uniform(0.0005, 0.02))))
+    idx = rng.choice(flat.size, size=n, replace=False)
+    flat[idx[: n // 2]] = np.inf
+    flat[idx[n // 2 :]] = -np.inf
+    return out
+
+
+def _inject_nan_block(data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """NaN out a contiguous corner block (ocean land-mask style)."""
+    out = np.array(data, copy=True)
+    sel = tuple(
+        slice(0, int(rng.integers(1, max(2, n // 2)))) for n in out.shape
+    )
+    out[sel] = np.nan
+    return out
+
+
+def _inject_all_nan(data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Invalidate the entire frame (a fully-masked region of a run)."""
+    return np.full_like(data, np.nan)
+
+
+#: The input-array fault model, keyed by operator name.
+ARRAY_FAULT_OPERATORS: dict[str, FaultOperator] = {
+    op.name: op
+    for op in (
+        FaultOperator("scattered_nan", _inject_scattered_nan),
+        FaultOperator("scattered_inf", _inject_scattered_inf),
+        FaultOperator("nan_block", _inject_nan_block),
+        FaultOperator("all_nan", _inject_all_nan),
+    )
+}
+
+
 @dataclass(frozen=True)
 class CorruptionResult:
     """A corrupted payload plus the operators that produced it."""
@@ -182,13 +240,38 @@ def corrupt(
     return CorruptionResult(payload=out, applied=tuple(applied), seed=seed)
 
 
+def inject_nonfinite(
+    data: np.ndarray,
+    seed: int,
+    operators: list[str] | None = None,
+    n_ops: int = 1,
+) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Apply ``n_ops`` seeded input-array operators (composed in order).
+
+    The array analogue of :func:`corrupt`: ``operators=None`` draws from
+    the full :data:`ARRAY_FAULT_OPERATORS` set.  Returns the corrupted
+    copy plus the applied chain; the input is never modified.
+    """
+    rng = np.random.default_rng(seed)
+    pool = (
+        list(operators) if operators is not None else sorted(ARRAY_FAULT_OPERATORS)
+    )
+    applied = []
+    out = np.asarray(data)
+    for _ in range(n_ops):
+        name = pool[int(rng.integers(0, len(pool)))]
+        out = ARRAY_FAULT_OPERATORS[name](out, rng)
+        applied.append(name)
+    return out, tuple(applied)
+
+
 @dataclass(frozen=True)
 class FuzzViolation:
     """One fuzz case that broke the decoder contract."""
 
     seed: int
     applied: tuple[str, ...]
-    kind: str  # "exception" | "hang" | "operator"
+    kind: str  # "exception" | "hang" | "operator" | "contract"
     detail: str
 
 
@@ -299,3 +382,83 @@ def fuzz_decoder(
                 )
             )
     return report
+
+
+def fuzz_codec_inputs(
+    roundtrip: Callable[[np.ndarray], np.ndarray],
+    data: np.ndarray,
+    *,
+    n: int = 50,
+    operators: list[str] | None = None,
+    n_ops: int = 1,
+    seed: int = 0,
+) -> FuzzReport:
+    """Fuzz a codec with NaN/Inf-damaged *inputs* instead of payloads.
+
+    For each seed the input is damaged through
+    :data:`ARRAY_FAULT_OPERATORS` and pushed through ``roundtrip``
+    (compress + decompress).  The contract: the roundtrip either raises
+    a :class:`~repro.errors.ReproError` or returns an array that
+
+    * keeps the input's dtype and shape,
+    * reproduces the NaN/+Inf/-Inf pattern of the damaged input
+      *exactly* (no unflagged garbage, no leaked fill values),
+    * is finite everywhere the damaged input was finite.
+
+    Anything else is recorded as a violation with a replayable seed.
+    """
+    report = FuzzReport(
+        operators=tuple(operators) if operators is not None else None,
+        n_ops=n_ops,
+    )
+    for s in range(seed, seed + n):
+        report.n_runs += 1
+        damaged, applied = inject_nonfinite(
+            data, s, operators=operators, n_ops=n_ops
+        )
+        try:
+            out = roundtrip(damaged)
+        except ReproError:
+            report.n_rejected += 1
+            continue
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            report.violations.append(
+                FuzzViolation(
+                    seed=s,
+                    applied=applied,
+                    kind="exception",
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        problem = _check_masked_roundtrip(damaged, out)
+        if problem is None:
+            report.n_decoded += 1
+        else:
+            report.violations.append(
+                FuzzViolation(
+                    seed=s, applied=applied, kind="contract", detail=problem
+                )
+            )
+    return report
+
+
+def _check_masked_roundtrip(data: np.ndarray, out: np.ndarray) -> str | None:
+    """The unflagged-garbage check behind :func:`fuzz_codec_inputs`."""
+    if not isinstance(out, np.ndarray):
+        return f"roundtrip returned {type(out).__name__}, not an ndarray"
+    if out.dtype != data.dtype:
+        return f"dtype changed: {data.dtype} -> {out.dtype}"
+    if out.shape != data.shape:
+        return f"shape changed: {data.shape} -> {out.shape}"
+    for kind, pred in (
+        ("NaN", np.isnan),
+        ("+Inf", np.isposinf),
+        ("-Inf", np.isneginf),
+    ):
+        want, got = pred(data), pred(out)
+        if not np.array_equal(want, got):
+            extra = int(np.count_nonzero(got & ~want))
+            lost = int(np.count_nonzero(want & ~got))
+            return f"{kind} pattern mismatch ({extra} unflagged, {lost} lost)"
+    return None

@@ -123,7 +123,7 @@ class TestChunkedIntegrity:
 
         t = (smooth_field.max() - smooth_field.min()) / 2**12
         v2 = chunked.compress(smooth_field, PweMode(t))
-        rank, shape, chunks, streams, _crcs = chunked._parse(v2)
+        rank, shape, chunks, streams, _crcs, _dtype, _mask, _mcrc = chunked._parse(v2)
         head = bytearray()
         head += b"CHNK"
         head += struct.pack("<B", rank)

@@ -1,0 +1,179 @@
+"""Unit tests for the input-hardening layer (:mod:`repro.core.mask`).
+
+Covers the mask-code lifecycle (classify -> fill -> encode -> decode ->
+apply), the degradation notes the sanitizer emits instead of raising,
+and the float32 tolerance-tightening shared by every masked entry point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mask import (
+    MASK_NAN,
+    MASK_NEGINF,
+    MASK_POSINF,
+    MASK_VALID,
+    apply_mask,
+    classify_nonfinite,
+    decode_mask,
+    encode_mask,
+    fill_masked,
+    mask_summary,
+    sanitize_array,
+    tighten_pwe_for_dtype,
+)
+from repro.core.modes import PsnrMode, PweMode
+from repro.errors import InvalidArgumentError, StreamFormatError
+
+
+def masked_field(shape=(12, 12), seed=3):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape)
+    data[:4, :4] = np.nan
+    data[-1, -1] = np.inf
+    data[0, -1] = -np.inf
+    return data
+
+
+class TestClassify:
+    def test_finite_input_returns_none(self):
+        assert classify_nonfinite(np.zeros((5, 5))) is None
+
+    def test_codes_match_predicates(self):
+        data = masked_field()
+        codes = classify_nonfinite(data)
+        assert codes.dtype == np.uint8
+        assert np.array_equal(codes == MASK_NAN, np.isnan(data))
+        assert np.array_equal(codes == MASK_POSINF, np.isposinf(data))
+        assert np.array_equal(codes == MASK_NEGINF, np.isneginf(data))
+        assert np.array_equal(codes == MASK_VALID, np.isfinite(data))
+
+
+class TestFill:
+    def test_fill_is_finite_and_smooth(self):
+        data = masked_field()
+        codes = classify_nonfinite(data)
+        filled, notes = fill_masked(data, codes)
+        assert np.isfinite(filled).all()
+        # Valid samples pass through untouched.
+        valid = codes == MASK_VALID
+        assert np.array_equal(filled[valid], data[valid])
+        # Neighbor-aware fill stays inside the valid samples' range
+        # (diffusion cannot overshoot the boundary values).
+        lo, hi = data[valid].min(), data[valid].max()
+        assert filled.min() >= lo - 1e-12 and filled.max() <= hi + 1e-12
+
+    def test_all_masked_falls_back_with_note(self):
+        data = np.full((4, 4), np.nan)
+        codes = classify_nonfinite(data)
+        filled, notes = fill_masked(data, codes)
+        assert np.isfinite(filled).all()
+        assert any(n.kind == "all_masked" for n in notes)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_exact(self):
+        codes = classify_nonfinite(masked_field())
+        blob = encode_mask(codes)
+        back = decode_mask(blob, codes.size)
+        assert np.array_equal(back, codes.ravel())
+
+    def test_rle_is_compact_on_block_masks(self):
+        codes = np.zeros((64, 64), dtype=np.uint8)
+        codes[:32] = MASK_NAN  # one huge run each way
+        blob = encode_mask(codes)
+        assert len(blob) < 128  # far below the 4096-sample bitmap
+
+    def test_wrong_npoints_rejected(self):
+        codes = classify_nonfinite(masked_field())
+        blob = encode_mask(codes)
+        with pytest.raises(StreamFormatError):
+            decode_mask(blob, codes.size + 1)
+
+    def test_damaged_blob_rejected(self):
+        blob = encode_mask(classify_nonfinite(masked_field()))
+        with pytest.raises(Exception) as exc_info:
+            decode_mask(blob[: len(blob) // 2], 144)
+        from repro.errors import ReproError
+
+        assert isinstance(exc_info.value, ReproError)
+
+
+class TestApply:
+    def test_apply_restores_pattern(self):
+        data = masked_field()
+        codes = classify_nonfinite(data)
+        out = np.zeros_like(data)
+        apply_mask(out, codes)
+        assert np.array_equal(np.isnan(out), np.isnan(data))
+        assert np.array_equal(np.isposinf(out), np.isposinf(data))
+        assert np.array_equal(np.isneginf(out), np.isneginf(data))
+
+    def test_apply_accepts_flat_codes(self):
+        data = masked_field()
+        codes = classify_nonfinite(data).ravel()
+        out = np.zeros_like(data)
+        apply_mask(out, codes)
+        assert np.isnan(out[0, 0])
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(StreamFormatError):
+            apply_mask(np.zeros((3, 3)), np.zeros(4, dtype=np.uint8))
+
+
+class TestSanitize:
+    def test_finite_input_is_identity(self):
+        data = np.linspace(0, 1, 64).reshape(8, 8)
+        clean, codes, notes = sanitize_array(data)
+        assert codes is None
+        assert clean is data
+        assert notes == []
+
+    def test_masked_input_notes_and_counts(self):
+        clean, codes, notes = sanitize_array(masked_field())
+        assert np.isfinite(clean).all()
+        counts = mask_summary(codes)
+        assert counts["masked"] == 18 and counts["nan"] == 16
+        assert counts["pos_inf"] == 1 and counts["neg_inf"] == 1
+        assert any(n.kind == "masked_input" for n in notes)
+
+    def test_constant_field_note(self):
+        _, _, notes = sanitize_array(np.full((6, 6), 3.25))
+        assert any(n.kind == "constant_field" for n in notes)
+
+    def test_denormal_heavy_note(self):
+        data = np.full((8, 8), 1e-310)
+        _, _, notes = sanitize_array(data)
+        assert any(n.kind == "denormal_heavy" for n in notes)
+
+    def test_float32_fill_stays_float32(self):
+        data = masked_field().astype(np.float32)
+        clean, codes, _ = sanitize_array(data)
+        assert clean.dtype == np.float32
+
+
+class TestTightenPwe:
+    def test_float64_untouched(self):
+        mode = PweMode(1e-3)
+        data = np.ones((4, 4))
+        assert tighten_pwe_for_dtype(mode, data) is mode
+
+    def test_float32_tightens_below_tolerance(self):
+        mode = PweMode(1e-3)
+        data = np.full((4, 4), 100.0, dtype=np.float32)
+        out = tighten_pwe_for_dtype(mode, data)
+        assert 0 < out.tolerance < mode.tolerance
+        assert out.q_factor == mode.q_factor
+
+    def test_sub_ulp_tolerance_rejected(self):
+        data = np.full((4, 4), 1e6, dtype=np.float32)
+        ulp = 1e6 * 2.0**-23
+        with pytest.raises(InvalidArgumentError):
+            tighten_pwe_for_dtype(PweMode(0.4 * ulp), data)
+
+    def test_non_pwe_modes_pass_through(self):
+        mode = PsnrMode(60.0)
+        data = np.ones((4, 4), dtype=np.float32)
+        assert tighten_pwe_for_dtype(mode, data) is mode

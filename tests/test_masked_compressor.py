@@ -1,0 +1,126 @@
+"""Tests for :class:`repro.compressors.MaskedCompressor`.
+
+The wrapper gives every baseline codec the same NaN/Inf and dtype
+robustness the native pipeline has, without touching the inner stream
+format: finite float64 inputs pass through byte-identically, everything
+else rides in an ``MSKW`` frame around the untouched inner payload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors import ALL_COMPRESSORS, MaskedCompressor
+from repro.compressors.szlike import SzLikeCompressor
+from repro.compressors.zfplike import ZfpLikeCompressor
+from repro.core.modes import PweMode
+from repro.errors import IntegrityError, InvalidArgumentError, ReproError
+
+TOL = 1e-3
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(21)
+    return rng.normal(size=(20, 20)).cumsum(axis=0)
+
+
+@pytest.fixture(scope="module")
+def masked(field):
+    data = field.copy()
+    data[:5, :5] = np.nan
+    data[0, -1] = np.inf
+    data[-1, 0] = -np.inf
+    return data
+
+
+class TestPassthrough:
+    def test_finite_float64_is_byte_identical(self, field):
+        inner = SzLikeCompressor()
+        wrapped = MaskedCompressor(SzLikeCompressor())
+        mode = PweMode(TOL)
+        assert wrapped.compress(field, mode) == inner.compress(field, mode)
+
+    def test_decompress_falls_back_to_inner_payload(self, field):
+        inner = SzLikeCompressor()
+        wrapped = MaskedCompressor(SzLikeCompressor())
+        payload = inner.compress(field, PweMode(TOL))
+        out = wrapped.decompress(payload)
+        np.testing.assert_array_equal(out, inner.decompress(payload))
+
+
+class TestMaskedRoundtrip:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_nan_positions_and_dtype(self, masked, dtype):
+        data = masked.astype(dtype)
+        codec = MaskedCompressor(SzLikeCompressor())
+        out = codec.decompress(codec.compress(data, PweMode(TOL)))
+        assert out.dtype == data.dtype
+        assert np.array_equal(np.isnan(out), np.isnan(data))
+        assert np.array_equal(np.isposinf(out), np.isposinf(data))
+        assert np.array_equal(np.isneginf(out), np.isneginf(data))
+        valid = np.isfinite(data)
+        assert np.abs(out[valid] - data[valid]).max() <= TOL * (1 + 1e-9)
+
+    def test_float32_finite_gets_framed(self, field):
+        codec = MaskedCompressor(SzLikeCompressor())
+        payload = codec.compress(field.astype(np.float32), PweMode(TOL))
+        assert payload[:4] == b"MSKW"
+        out = codec.decompress(payload)
+        assert out.dtype == np.float32
+
+    def test_degradation_notes_surface(self, masked):
+        codec = MaskedCompressor(SzLikeCompressor())
+        codec.compress(masked, PweMode(TOL))
+        assert any(n.kind == "masked_input" for n in codec.last_notes)
+
+
+class TestFraming:
+    def test_header_crc_guards_fields(self, masked):
+        codec = MaskedCompressor(SzLikeCompressor())
+        payload = bytearray(codec.compress(masked, PweMode(TOL)))
+        payload[10] ^= 0xFF  # inside the CRC-protected header
+        with pytest.raises(ReproError):
+            codec.decompress(bytes(payload))
+
+    def test_mask_blob_crc_checked(self, masked):
+        codec = MaskedCompressor(SzLikeCompressor())
+        payload = codec.compress(masked, PweMode(TOL))
+        # Damage a byte inside the mask blob (after the fixed header).
+        buf = bytearray(payload)
+        buf[30] ^= 0xFF
+        with pytest.raises((IntegrityError, ReproError)):
+            codec.decompress(bytes(buf))
+
+    def test_truncation_raises_repro_error(self, masked):
+        codec = MaskedCompressor(SzLikeCompressor())
+        payload = codec.compress(masked, PweMode(TOL))
+        for cut in (3, 8, 20, len(payload) - 5):
+            with pytest.raises(ReproError):
+                codec.decompress(payload[:cut])
+
+    def test_nesting_refused(self):
+        with pytest.raises(InvalidArgumentError):
+            MaskedCompressor(MaskedCompressor(SzLikeCompressor()))
+
+    def test_name_reflects_inner(self):
+        assert MaskedCompressor(ZfpLikeCompressor()).name == "zfp-like+mask"
+
+
+class TestAllBaselines:
+    @pytest.mark.parametrize(
+        "key", [k for k in sorted(ALL_COMPRESSORS) if k != "sperr"]
+    )
+    def test_every_baseline_wraps(self, masked, key):
+        codec = MaskedCompressor(ALL_COMPRESSORS[key]())
+        mode = (
+            PweMode(TOL)
+            if key != "tthresh-like"
+            else __import__(
+                "repro.compressors.base", fromlist=["PsnrMode"]
+            ).PsnrMode(60.0)
+        )
+        out = codec.decompress(codec.compress(masked, mode))
+        assert out.dtype == masked.dtype
+        assert np.array_equal(np.isnan(out), np.isnan(masked))

@@ -1,0 +1,110 @@
+"""The scenario registry and the codec x scenario scorecard harness.
+
+The registry is declarative test data (name -> builder); the scorecard
+is the robustness gate built on it.  Tier-1 runs only the smoke subset
+— the full 36 x 5 matrix runs in the opt-in CI job.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import Scorecard, format_scorecard, run_scorecard
+from repro.datasets import (
+    SCENARIOS,
+    SMOKE_SCENARIOS,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+)
+from repro.errors import InvalidArgumentError
+
+
+class TestRegistry:
+    def test_registry_shape(self):
+        # 2 dtypes x 3 ranks x 6 variants.
+        assert len(SCENARIOS) == 36
+        for name, scenario in SCENARIOS.items():
+            assert scenario.name == name
+
+    def test_smoke_subset_is_small_and_masked(self):
+        assert 4 <= len(SMOKE_SCENARIOS) <= 10
+        assert all(s.smoke for s in SMOKE_SCENARIOS.values())
+        assert any("masked" in s.tags for s in SMOKE_SCENARIOS.values())
+
+    def test_builders_are_deterministic(self):
+        for scenario in SMOKE_SCENARIOS.values():
+            a, b = scenario.build(), scenario.build()
+            assert a.dtype == np.dtype(scenario.dtype)
+            assert a.shape == scenario.shape
+            np.testing.assert_array_equal(a, b)
+
+    def test_masked_scenarios_carry_nonfinite(self):
+        for scenario in list_scenarios(tags={"masked"}):
+            data = scenario.build()
+            assert not np.isfinite(data).all()
+            assert np.isfinite(data).any()  # but never fully masked
+
+    def test_constant_scenarios_are_constant(self):
+        for scenario in list_scenarios(tags={"constant"}):
+            data = scenario.build()
+            assert float(data.min()) == float(data.max())
+
+    def test_get_scenario_unknown_raises(self):
+        with pytest.raises(InvalidArgumentError):
+            get_scenario("no-such-scenario")
+
+    def test_list_scenarios_filters(self):
+        masked_3d = list_scenarios(tags={"masked", "3d"})
+        assert masked_3d
+        for s in masked_3d:
+            assert {"masked", "3d"} <= s.tags
+
+    def test_scenarios_are_frozen(self):
+        scenario = next(iter(SCENARIOS.values()))
+        with pytest.raises(Exception):
+            scenario.name = "mutated"  # type: ignore[misc]
+
+
+class TestScorecard:
+    @pytest.fixture(scope="class")
+    def smoke(self):
+        return run_scorecard(smoke_only=True)
+
+    def test_smoke_matrix_passes(self, smoke):
+        assert isinstance(smoke, Scorecard)
+        assert smoke.n_failed == 0, format_scorecard(smoke)
+        assert len(smoke.cells) == len(SMOKE_SCENARIOS) * 5
+
+    def test_cells_carry_metrics(self, smoke):
+        for cell in smoke.cells:
+            assert cell.passed
+            assert cell.ratio is None or cell.ratio > 0
+            assert cell.seconds >= 0
+
+    def test_to_dict_is_json_serializable(self, smoke):
+        blob = json.dumps(smoke.to_dict())
+        back = json.loads(blob)
+        assert back["n_cells"] == len(smoke.cells)
+        assert back["n_failed"] == 0
+
+    def test_format_scorecard_mentions_every_codec(self, smoke):
+        text = format_scorecard(smoke)
+        for codec in ("sperr", "sz-like", "zfp-like", "tthresh-like", "mgard-like"):
+            assert codec in text
+
+    def test_codec_filter(self):
+        card = run_scorecard(
+            smoke_only=True,
+            codecs=["sperr"],
+            scenarios=[next(iter(SMOKE_SCENARIOS.values()))],
+        )
+        assert len(card.cells) == 1
+        assert card.cells[0].codec == "sperr"
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            run_scorecard(smoke_only=True, codecs=["lz4"])
