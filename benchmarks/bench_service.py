@@ -1,0 +1,368 @@
+"""Load generator for the async compression service (`repro.service`).
+
+Starts an in-process server over a store built from
+:mod:`repro.datasets.scenarios` frames, then drives N concurrent
+clients with mixed traffic — window reads over shared hot regions and
+scattered cold windows, stateless compress and decompress calls — and
+records client-side latency percentiles, server-side coalescing /
+backpressure / error counters, and peak process RSS.
+
+A second short phase floods a deliberately tiny-capped server to verify
+admission control answers with structured backpressure errors while the
+server stays healthy.
+
+Results land in the ``service`` block of ``BENCH_speed.json``::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick] [--no-write]
+
+and are gated by ``benchmarks/check_regression.py`` (zero protocol /
+internal errors, byte-identical reads, coalescing actually deduping,
+sane p99).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.modes import PweMode  # noqa: E402
+from repro.datasets.scenarios import get_scenario  # noqa: E402
+from repro.service import (  # noqa: E402
+    BackpressureError,
+    ServiceClient,
+    ServiceConfig,
+    serve_in_thread,
+)
+from repro.store import StoreWriter, open_store  # noqa: E402
+
+BENCH_FILE = ROOT / "BENCH_speed.json"
+
+#: Scenario frames served by the store (shared shape, mixed content:
+#: frame 1 carries a NaN block + scattered Inf through the mask path).
+STORE_SCENARIOS = ("smooth-3d-64", "masked-3d-64")
+#: Scenario arrays compressed/decompressed as the write-path traffic.
+CODEC_SCENARIOS = ("smooth-2d-64", "prime-2d-32")
+
+CHUNK = 16
+PWE = 1e-3
+SEED = 7
+
+#: Traffic mix (must sum to 1.0): reads dominate, as they would behind
+#: an analysis dashboard; compress/decompress model ingest traffic.
+MIX = {"read": 0.7, "compress": 0.15, "decompress": 0.15}
+
+
+def build_store(path: Path) -> None:
+    """Compress the scenario frames into a store at ``path``."""
+    frames = [get_scenario(name).build() for name in STORE_SCENARIOS]
+    with StoreWriter(path, PweMode(PWE), chunk_shape=CHUNK) as writer:
+        for frame in frames:
+            writer.append(np.asarray(frame, dtype=np.float64))
+
+
+def make_windows(shape, seed: int, n_cold: int = 24) -> list[tuple]:
+    """Hot windows (shared by every client) plus scattered cold windows."""
+    rng = np.random.default_rng(seed)
+    hot = [
+        tuple(slice(0, min(2 * CHUNK, s)) for s in shape),
+        tuple(slice(s - min(CHUNK, s), s) for s in shape),
+    ]
+    cold = []
+    for _ in range(n_cold):
+        window = []
+        for s in shape:
+            size = int(rng.integers(4, max(5, s // 2)))
+            lo = int(rng.integers(0, max(1, s - size)))
+            window.append(slice(lo, lo + size))
+        cold.append(tuple(window))
+    return hot + cold
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    values = sorted(values)
+    idx = min(len(values) - 1, max(0, round(q * (len(values) - 1))))
+    return 1e3 * values[int(idx)]
+
+
+class _Worker(threading.Thread):
+    """One load-generating client thread."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str,
+        windows: list,
+        codec_arrays: list[np.ndarray],
+        payloads: list[bytes],
+        stop_at: float,
+        seed: int,
+    ) -> None:
+        super().__init__(daemon=True)
+        self.args = (host, port, tenant)
+        self.windows = windows
+        self.codec_arrays = codec_arrays
+        self.payloads = payloads
+        self.stop_at = stop_at
+        self.rng = np.random.default_rng(seed)
+        self.latencies: dict[str, list[float]] = {
+            "read": [], "compress": [], "decompress": []
+        }
+        self.reads: list[tuple[tuple, int, bytes]] = []  # sampled for identity
+        self.n_backpressure = 0
+        self.n_errors = 0
+
+    def run(self) -> None:
+        host, port, tenant = self.args
+        ops, weights = zip(*MIX.items())
+        with ServiceClient(host, port, tenant=tenant) as client:
+            while time.perf_counter() < self.stop_at:
+                op = str(self.rng.choice(ops, p=weights))
+                try:
+                    self._one(client, op)
+                except BackpressureError as exc:
+                    self.n_backpressure += 1
+                    time.sleep(max(exc.retry_after_ms, 1) / 1e3)
+                except Exception:  # noqa: BLE001 - counted, not fatal
+                    self.n_errors += 1
+
+    def _one(self, client: ServiceClient, op: str) -> None:
+        t0 = time.perf_counter()
+        if op == "read":
+            window = self.windows[int(self.rng.integers(0, len(self.windows)))]
+            frame = int(self.rng.integers(0, 2))
+            out = client.read_window(window, frame=frame)
+            if len(self.reads) < 8:
+                self.reads.append((window, frame, out.tobytes()))
+        elif op == "compress":
+            data = self.codec_arrays[
+                int(self.rng.integers(0, len(self.codec_arrays)))
+            ]
+            client.compress(data, pwe=PWE)
+        else:
+            payload = self.payloads[int(self.rng.integers(0, len(self.payloads)))]
+            client.decompress(payload)
+        self.latencies[op].append(time.perf_counter() - t0)
+
+
+def run_load(
+    *,
+    clients: int = 16,
+    duration_s: float = 5.0,
+    batch_hold_s: float = 0.002,
+    seed: int = SEED,
+) -> dict:
+    """Drive the mixed workload and return the ``service`` bench entry."""
+    import resource
+
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-service-")
+    store_path = Path(tmp.name) / "store"
+    build_store(store_path)
+    direct = open_store(store_path, cache_bytes=0)
+    windows = make_windows(direct.shape, seed)
+    codec_arrays = [
+        np.asarray(get_scenario(n).build(), dtype=np.float64)
+        for n in CODEC_SCENARIOS
+    ]
+    from repro import compress
+
+    payloads = [
+        compress(a, PweMode(PWE), chunk_shape=32).payload for a in codec_arrays
+    ]
+
+    config = ServiceConfig(
+        batch_hold_s=batch_hold_s,
+        max_inflight_per_tenant=8,
+        max_pending=2 * clients,
+        workers=4,
+    )
+    results: dict = {"clients": clients, "duration_s": duration_s}
+    with serve_in_thread(store_path, config=config) as handle:
+        stop_at = time.perf_counter() + duration_s
+        workers = [
+            _Worker(
+                handle.host,
+                handle.port,
+                tenant=f"tenant-{i % 4}",
+                windows=windows,
+                codec_arrays=codec_arrays,
+                payloads=payloads,
+                stop_at=stop_at,
+                seed=seed + i,
+            )
+            for i in range(clients)
+        ]
+        t_start = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(duration_s + 60.0)
+        elapsed = time.perf_counter() - t_start
+        with ServiceClient(handle.host, handle.port) as probe:
+            stats = probe.stats()
+
+    # Client-side latency percentiles per op.
+    for op in MIX:
+        merged = [t for w in workers for t in w.latencies[op]]
+        results[op] = {
+            "count": len(merged),
+            "p50_ms": round(_percentile(merged, 0.50), 3),
+            "p99_ms": round(_percentile(merged, 0.99), 3),
+        }
+    n_requests = sum(results[op]["count"] for op in MIX)
+    results["throughput_rps"] = round(n_requests / max(elapsed, 1e-9), 1)
+
+    # Byte-identity of sampled service reads vs. direct read_window.
+    checked = mismatched = 0
+    for w in workers:
+        for window, frame, got in w.reads:
+            checked += 1
+            want = direct.read_window(window, frame=frame)
+            if got != want.tobytes():
+                mismatched += 1
+    results["correctness"] = {
+        "reads_checked": checked,
+        "reads_mismatched": mismatched,
+    }
+
+    counters = stats["counters"]
+    read_requests = counters.get("requests.read_window", 0)
+    results["coalescing"] = {
+        "read_requests": read_requests,
+        "chunk_decodes": counters.get("chunk_decodes", 0),
+        "coalesced_chunk_hits": counters.get("coalesced_chunk_hits", 0),
+        "cache_hits": stats["cache"].get("hits", 0),
+        "batches": counters.get("batches", 0),
+    }
+    results["errors"] = {
+        "protocol_errors": counters.get("protocol_errors", 0),
+        "internal_errors": counters.get("internal_errors", 0),
+        "client_errors": sum(w.n_errors for w in workers),
+        "backpressure_retries": sum(w.n_backpressure for w in workers),
+    }
+    results["peak_rss_mib"] = round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+    )
+    tmp.cleanup()
+    return results
+
+
+def run_backpressure_probe(*, flooders: int = 8, duration_s: float = 1.5) -> dict:
+    """Flood a tiny-capped server; admission must reject, not queue.
+
+    Returns the reject/accept counts and whether the server still
+    answered a ping after the flood (the no-meltdown check).
+    """
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-flood-")
+    store_path = Path(tmp.name) / "store"
+    build_store(store_path)
+    config = ServiceConfig(
+        max_inflight_per_tenant=1,
+        max_pending=2,
+        workers=1,
+        batch_hold_s=0.02,  # slow the drain so the queue caps bind
+    )
+    rejected = completed = failed = 0
+    lock = threading.Lock()
+    with serve_in_thread(store_path, config=config) as handle:
+        window = tuple(slice(0, 32) for _ in range(3))
+        stop_at = time.perf_counter() + duration_s
+
+        def flood(i: int) -> None:
+            nonlocal rejected, completed, failed
+            with ServiceClient(handle.host, handle.port, tenant="flood") as c:
+                while time.perf_counter() < stop_at:
+                    try:
+                        c.read_window(window)
+                        with lock:
+                            completed += 1
+                    except BackpressureError:
+                        with lock:
+                            rejected += 1
+                    except Exception:  # noqa: BLE001
+                        with lock:
+                            failed += 1
+
+        threads = [
+            threading.Thread(target=flood, args=(i,), daemon=True)
+            for i in range(flooders)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(duration_s + 30.0)
+        with ServiceClient(handle.host, handle.port) as probe:
+            alive = probe.ping()
+            stats = probe.stats()
+    tmp.cleanup()
+    return {
+        "flooders": flooders,
+        "rejected": rejected,
+        "completed": completed,
+        "failed": failed,
+        "server_rejects": stats["counters"].get("backpressure_rejects", 0),
+        "alive_after_flood": bool(alive),
+    }
+
+
+def measure_service(*, quick: bool = False) -> dict:
+    """The full ``service`` bench block (load + backpressure probe)."""
+    duration = 2.0 if quick else 6.0
+    entry = run_load(clients=16, duration_s=duration)
+    entry["backpressure"] = run_backpressure_probe(
+        duration_s=1.0 if quick else 1.5
+    )
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the load, print a summary, update the block."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="short run")
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="print the block without touching BENCH_speed.json",
+    )
+    args = parser.parse_args(argv)
+
+    entry = measure_service(quick=args.quick)
+    print(json.dumps(entry, indent=2, sort_keys=True))
+
+    if not args.no_write:
+        doc = {}
+        if BENCH_FILE.exists():
+            try:
+                doc = json.loads(BENCH_FILE.read_text())
+            except json.JSONDecodeError:
+                doc = {}
+        doc["service"] = entry
+        BENCH_FILE.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote service block to {BENCH_FILE}")
+
+    problems = []
+    if entry["errors"]["protocol_errors"]:
+        problems.append("protocol errors under load")
+    if entry["correctness"]["reads_mismatched"]:
+        problems.append("service reads diverged from direct read_window")
+    if not entry["backpressure"]["alive_after_flood"]:
+        problems.append("server unresponsive after flood")
+    for p in problems:
+        print(f"PROBLEM: {p}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

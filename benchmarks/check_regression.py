@@ -360,6 +360,81 @@ def check_scorecard(*, quick: bool = False) -> list[str]:
     ]
 
 
+#: Absolute p99 ceiling for service window reads under the standard
+#: 16-client load.  Deliberately generous — it catches meltdowns
+#: (lost coalescing, queue leaks, event-loop stalls), not jitter.
+SERVICE_MAX_READ_P99_MS = 2000.0
+
+
+def check_service(*, quick: bool = False) -> list[str]:
+    """Gate the compression service under concurrent load.
+
+    Re-runs the :mod:`bench_service` load (16 mixed-traffic clients plus
+    the tiny-cap flood probe) and fails on any of the service tier's
+    hard invariants: a protocol or internal error under load, a window
+    read that diverged from direct ``read_window``, coalescing no longer
+    deduplicating decodes, a flood that crashes instead of being
+    rejected, or a read p99 past :data:`SERVICE_MAX_READ_P99_MS`.  The
+    latency check re-measures once so a load spike on the machine does
+    not read as a service regression.
+    """
+    from bench_service import measure_service
+
+    entry = measure_service(quick=quick)
+    problems = []
+    errors = entry["errors"]
+    if errors["protocol_errors"]:
+        problems.append(
+            f"service: {errors['protocol_errors']} protocol errors under load"
+        )
+    if errors["internal_errors"] or errors["client_errors"]:
+        problems.append(
+            f"service: {errors['internal_errors']} internal / "
+            f"{errors['client_errors']} client errors under load"
+        )
+    if entry["correctness"]["reads_mismatched"]:
+        problems.append(
+            f"service: {entry['correctness']['reads_mismatched']} of "
+            f"{entry['correctness']['reads_checked']} sampled reads diverged "
+            "from direct read_window"
+        )
+    co = entry["coalescing"]
+    if co["read_requests"] >= 64 and co["chunk_decodes"] >= co["read_requests"]:
+        problems.append(
+            f"service: coalescing/caching stopped deduplicating decodes "
+            f"({co['chunk_decodes']} decodes for {co['read_requests']} reads)"
+        )
+    bp = entry["backpressure"]
+    if not bp["alive_after_flood"]:
+        problems.append("service: server unresponsive after flood")
+    if bp["failed"]:
+        problems.append(
+            f"service: {bp['failed']} flood requests failed unstructured "
+            "(expected backpressure rejections)"
+        )
+    if bp["rejected"] == 0:
+        problems.append(
+            "service: tiny-cap flood was never rejected - admission "
+            "control is not binding"
+        )
+    p99 = entry["read"]["p99_ms"]
+    if p99 > SERVICE_MAX_READ_P99_MS:
+        print("service latency gate tripped - re-measuring once")
+        p99 = min(p99, measure_service(quick=quick)["read"]["p99_ms"])
+    if p99 > SERVICE_MAX_READ_P99_MS:
+        problems.append(
+            f"service: read p99 {p99:.0f} ms exceeds the "
+            f"{SERVICE_MAX_READ_P99_MS:.0f} ms ceiling"
+        )
+    if not problems:
+        print(
+            f"service: {co['read_requests']} reads / {co['chunk_decodes']} "
+            f"decodes, read p99 {p99:.0f} ms, "
+            f"{bp['rejected']} flood rejects - ok"
+        )
+    return problems
+
+
 def run_gate(*, quick: bool = False, threshold: float = DEFAULT_THRESHOLD) -> list[str]:
     """Measure the current tree and gate it against BENCH_speed.json.
 
@@ -413,6 +488,7 @@ def run_gate(*, quick: bool = False, threshold: float = DEFAULT_THRESHOLD) -> li
     problems += check_container_overhead()
     problems += check_store_micro(quick=quick)
     problems += check_scorecard(quick=quick)
+    problems += check_service(quick=quick)
     return problems
 
 

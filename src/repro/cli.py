@@ -1,9 +1,12 @@
-"""Command-line interface: ``sperr compress|decompress|info``.
+"""Command-line interface: ``sperr compress|decompress|info|store|serve``.
 
 Mirrors the ergonomics of the real SPERR command-line tool: an input
 array (``.npy``) is compressed under either a point-wise error tolerance
 (``--pwe`` or the ``--idx`` label of Table I) or a target bitrate
-(``--bpp``), producing a self-contained ``.sperr`` container.
+(``--bpp``), producing a self-contained ``.sperr`` container.  Beyond
+single files, ``sperr store`` builds and queries sharded random-access
+stores and ``sperr serve`` exposes a store over the async compression
+service (``docs/service.md``).
 """
 
 from __future__ import annotations
@@ -165,6 +168,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     si = st_sub.add_parser("info", help="summarize a store directory")
     si.add_argument("store", help="store directory")
+
+    sv = sub.add_parser(
+        "serve",
+        help="serve a store over the async compression service "
+        "(window reads, compress, decompress)",
+    )
+    sv.add_argument(
+        "store", nargs="?", default=None,
+        help="store directory to serve (omit for a store-less "
+        "compress/decompress service)",
+    )
+    sv.add_argument("--host", default="127.0.0.1", help="bind address")
+    sv.add_argument(
+        "--port", type=int, default=9876,
+        help="bind port (0 = ephemeral; default 9876)",
+    )
+    sv.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads for decode/compress jobs (default 4)",
+    )
+    sv.add_argument(
+        "--cache-bytes", type=int, default=None,
+        help="global decoded-chunk cache ceiling in bytes (default 64 MiB)",
+    )
+    sv.add_argument(
+        "--tenant-quota", type=int, default=None,
+        help="per-tenant cache quota in bytes (default: the ceiling)",
+    )
+    sv.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="per-tenant in-flight request cap before backpressure",
+    )
+    sv.add_argument(
+        "--max-pending", type=int, default=64,
+        help="global admitted-request cap before backpressure",
+    )
+    sv.add_argument(
+        "--batch-hold-ms", type=float, default=0.0,
+        help="gathering delay per read batch (coalescing window, ms)",
+    )
 
     cmp_ = sub.add_parser(
         "compare",
@@ -474,6 +517,38 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import CompressionService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight_per_tenant=args.max_inflight,
+        max_pending=args.max_pending,
+        batch_hold_s=args.batch_hold_ms / 1e3,
+    )
+    if args.cache_bytes is not None:
+        config.cache_bytes = args.cache_bytes
+    if args.tenant_quota is not None:
+        config.tenant_quota_bytes = args.tenant_quota
+    service = CompressionService(args.store, config=config)
+
+    async def run() -> None:
+        host, port = await service.start()
+        target = args.store if args.store is not None else "(no store)"
+        print(f"serving {target} on {host}:{port} - ctrl-c to stop")
+        await service.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return 0
+
+
 def _cmd_pack(args: argparse.Namespace) -> int:
     from .core import compress_frames
 
@@ -517,6 +592,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_extract(args)
         if args.command == "store":
             return _cmd_store(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "scorecard":
             return _cmd_scorecard(args)
         return _cmd_info(args)

@@ -1,0 +1,386 @@
+"""Length-prefixed binary wire protocol for the compression service.
+
+One *message* is one CRC-protected frame::
+
+    offset  size  field
+    0       2     magic  b"Rv"
+    2       1     protocol version (currently 1)
+    3       1     message kind (request or response code)
+    4       4     request id (u32 LE; responses echo their request's id)
+    8       4     header length  (u32 LE, capped at MAX_HEADER_BYTES)
+    12      8     payload length (u64 LE, capped at the peer's limit)
+    20      4     CRC32 of header + payload bytes (u32 LE)
+    24      -     header bytes   (UTF-8 JSON object)
+    24+h    -     payload bytes  (raw: array data or container payload)
+
+The JSON header carries the small structured fields (window spec, frame,
+tenant, dtype/shape, error codes); the payload carries the bulk bytes,
+so a window read never round-trips float data through JSON.
+
+Both sides parse frames behind the same anti-DoS discipline as the
+container decoders: every length field is validated against an explicit
+cap *before* any allocation, the CRC is checked before the header is
+parsed, and any malformed frame raises a
+:class:`~repro.errors.ReproError` subclass (``decode_guard`` translates
+raw ``json``/``struct`` failures).  Unknown protocol versions are
+rejected cleanly so a future v2 peer fails fast instead of
+misinterpreting lengths.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import (
+    MAX_DECODE_POINTS,
+    AllocationLimitError,
+    IntegrityError,
+    InvalidArgumentError,
+    StreamFormatError,
+    decode_guard,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FRAME_MAGIC",
+    "PRELUDE_SIZE",
+    "MAX_HEADER_BYTES",
+    "DEFAULT_MAX_PAYLOAD",
+    "MSG_PING",
+    "MSG_INFO",
+    "MSG_READ_WINDOW",
+    "MSG_COMPRESS",
+    "MSG_DECOMPRESS",
+    "MSG_STATS",
+    "MSG_OK",
+    "MSG_ERROR",
+    "REQUEST_KINDS",
+    "RESPONSE_KINDS",
+    "KIND_NAMES",
+    "ERR_BAD_REQUEST",
+    "ERR_BACKPRESSURE",
+    "ERR_NOT_FOUND",
+    "ERR_CORRUPT",
+    "ERR_INTERNAL",
+    "ERR_PROTOCOL",
+    "Message",
+    "encode_message",
+    "parse_message",
+    "parse_prelude",
+    "pack_window",
+    "unpack_window",
+    "array_to_wire",
+    "array_from_wire",
+]
+
+#: Wire protocol version; peers reject frames from any other version.
+PROTOCOL_VERSION = 1
+
+#: Two-byte frame magic ("Repro serVice").
+FRAME_MAGIC = b"Rv"
+
+#: Fixed frame prelude size in bytes (everything before the header).
+PRELUDE_SIZE = 24
+
+#: Cap on the JSON header length — headers are small structured fields,
+#: so anything beyond this is a corrupt or hostile length field.
+MAX_HEADER_BYTES = 256 << 10
+
+#: Default cap on a frame's raw payload (array bytes / container bytes).
+DEFAULT_MAX_PAYLOAD = 256 << 20
+
+# Request kinds.
+MSG_PING = 1
+MSG_INFO = 2
+MSG_READ_WINDOW = 3
+MSG_COMPRESS = 4
+MSG_DECOMPRESS = 5
+MSG_STATS = 6
+
+# Response kinds.
+MSG_OK = 128
+MSG_ERROR = 129
+
+#: All request message kinds.
+REQUEST_KINDS = frozenset(
+    {MSG_PING, MSG_INFO, MSG_READ_WINDOW, MSG_COMPRESS, MSG_DECOMPRESS, MSG_STATS}
+)
+#: All response message kinds.
+RESPONSE_KINDS = frozenset({MSG_OK, MSG_ERROR})
+
+#: Human-readable kind names (telemetry and error messages).
+KIND_NAMES = {
+    MSG_PING: "ping",
+    MSG_INFO: "info",
+    MSG_READ_WINDOW: "read_window",
+    MSG_COMPRESS: "compress",
+    MSG_DECOMPRESS: "decompress",
+    MSG_STATS: "stats",
+    MSG_OK: "ok",
+    MSG_ERROR: "error",
+}
+
+# Structured error codes carried in MSG_ERROR headers.
+ERR_BAD_REQUEST = "bad_request"
+ERR_BACKPRESSURE = "backpressure"
+ERR_NOT_FOUND = "not_found"
+ERR_CORRUPT = "corrupt"
+ERR_INTERNAL = "internal"
+ERR_PROTOCOL = "protocol"
+
+_PRELUDE = struct.Struct("<2sBBIIQI")
+
+
+@dataclass(frozen=True)
+class Message:
+    """One decoded protocol frame (request or response)."""
+
+    kind: int
+    request_id: int
+    header: dict = field(default_factory=dict)
+    payload: bytes = b""
+
+    @property
+    def kind_name(self) -> str:
+        """Human-readable name of :attr:`kind`."""
+        return KIND_NAMES.get(self.kind, f"kind_{self.kind}")
+
+
+def encode_message(
+    msg: Message, *, max_payload: int = DEFAULT_MAX_PAYLOAD
+) -> bytes:
+    """Serialize a :class:`Message` into one wire frame.
+
+    Enforces the same caps the parser enforces, so an encoder cannot
+    produce a frame its peer is guaranteed to reject.
+    """
+    if not 0 <= msg.kind <= 255:
+        raise InvalidArgumentError(f"message kind {msg.kind} not in [0, 255]")
+    if not 0 <= msg.request_id <= 0xFFFFFFFF:
+        raise InvalidArgumentError("request id must fit in u32")
+    header = json.dumps(msg.header, separators=(",", ":")).encode("utf-8")
+    if len(header) > MAX_HEADER_BYTES:
+        raise InvalidArgumentError(
+            f"header is {len(header)} bytes, above the {MAX_HEADER_BYTES} cap"
+        )
+    if len(msg.payload) > max_payload:
+        raise InvalidArgumentError(
+            f"payload is {len(msg.payload)} bytes, above the {max_payload} cap"
+        )
+    crc = zlib.crc32(msg.payload, zlib.crc32(header))
+    prelude = _PRELUDE.pack(
+        FRAME_MAGIC,
+        PROTOCOL_VERSION,
+        msg.kind,
+        msg.request_id,
+        len(header),
+        len(msg.payload),
+        crc,
+    )
+    return prelude + header + bytes(msg.payload)
+
+
+def parse_prelude(
+    prelude: bytes, *, max_payload: int = DEFAULT_MAX_PAYLOAD
+) -> tuple[int, int, int, int, int]:
+    """Validate a frame prelude; returns ``(kind, request_id, header_len,
+    payload_len, crc)``.
+
+    All framing checks happen here, *before* the caller reads or
+    allocates the body: magic, version, and both length caps.  Raises
+    :class:`~repro.errors.StreamFormatError` (or
+    :class:`~repro.errors.AllocationLimitError` for oversized length
+    fields) on anything malformed.
+    """
+    if len(prelude) < PRELUDE_SIZE:
+        raise StreamFormatError(
+            f"service frame prelude truncated ({len(prelude)} of "
+            f"{PRELUDE_SIZE} bytes)"
+        )
+    with decode_guard("service"):
+        magic, version, kind, request_id, header_len, payload_len, crc = (
+            _PRELUDE.unpack(prelude[:PRELUDE_SIZE])
+        )
+    if magic != FRAME_MAGIC:
+        raise StreamFormatError(
+            f"not a service frame (magic {magic!r}, want {FRAME_MAGIC!r})"
+        )
+    if version != PROTOCOL_VERSION:
+        raise StreamFormatError(
+            f"unsupported protocol version {version} (this peer speaks "
+            f"{PROTOCOL_VERSION})"
+        )
+    if header_len > MAX_HEADER_BYTES:
+        raise AllocationLimitError(
+            f"frame declares a {header_len}-byte header, above the "
+            f"{MAX_HEADER_BYTES} cap"
+        )
+    if payload_len > max_payload:
+        raise AllocationLimitError(
+            f"frame declares a {payload_len}-byte payload, above the "
+            f"{max_payload} cap"
+        )
+    return kind, request_id, header_len, payload_len, crc
+
+
+def parse_message(
+    data: bytes, *, max_payload: int = DEFAULT_MAX_PAYLOAD
+) -> Message:
+    """Parse one complete frame from ``data`` (must contain exactly one).
+
+    The stream readers consume frames incrementally via
+    :func:`parse_prelude`; this whole-buffer form is the entry point the
+    fault-injection suite drives.  The CRC is verified before the JSON
+    header is parsed, so flipped bits anywhere in the body surface as
+    :class:`~repro.errors.IntegrityError` rather than as JSON weirdness.
+    """
+    kind, request_id, header_len, payload_len, crc = parse_prelude(
+        data, max_payload=max_payload
+    )
+    want = PRELUDE_SIZE + header_len + payload_len
+    if len(data) < want:
+        raise StreamFormatError(
+            f"service frame truncated ({len(data)} of {want} bytes)"
+        )
+    if len(data) > want:
+        raise StreamFormatError(
+            f"{len(data) - want} trailing bytes after service frame"
+        )
+    header_bytes = data[PRELUDE_SIZE : PRELUDE_SIZE + header_len]
+    payload = data[PRELUDE_SIZE + header_len : want]
+    got = zlib.crc32(payload, zlib.crc32(header_bytes))
+    if got != crc:
+        raise IntegrityError(
+            f"service frame CRC mismatch (stored {crc:#010x}, got {got:#010x})"
+        )
+    with decode_guard("service"):
+        header = json.loads(header_bytes.decode("utf-8")) if header_len else {}
+    if not isinstance(header, dict):
+        raise StreamFormatError(
+            f"service frame header is {type(header).__name__}, not an object"
+        )
+    return Message(
+        kind=kind, request_id=request_id, header=header, payload=payload
+    )
+
+
+# -- window / array marshalling -------------------------------------------
+
+
+def pack_window(window) -> list | None:
+    """Encode a ``read_window`` window spec as a JSON-safe value.
+
+    ``None`` stays ``None`` (full array); a tuple becomes a list whose
+    elements are ``None`` (full axis), an ``int`` (index), or a 2-list
+    ``[lo, hi]`` with ``None`` for open ends.
+    """
+    if window is None or window is Ellipsis:
+        return None
+    if isinstance(window, (slice, int, np.integer)):
+        window = (window,)
+    out: list = []
+    for w in window:
+        if w is None:
+            out.append(None)
+        elif isinstance(w, slice):
+            if w.step not in (None, 1):
+                raise InvalidArgumentError("windows must be contiguous (step 1)")
+            out.append([w.start, w.stop])
+        elif isinstance(w, (int, np.integer)):
+            out.append(int(w))
+        else:
+            raise InvalidArgumentError(f"unsupported window component {w!r}")
+    return out
+
+
+def unpack_window(spec) -> tuple | None:
+    """Decode :func:`pack_window` output back into slices/ints.
+
+    Validates shapes and types strictly — this runs on untrusted request
+    headers, so anything unexpected raises
+    :class:`~repro.errors.StreamFormatError`.
+    """
+    if spec is None:
+        return None
+    if not isinstance(spec, list):
+        raise StreamFormatError(f"window spec must be a list, got {type(spec).__name__}")
+    if len(spec) > 64:
+        raise StreamFormatError(f"window spec has {len(spec)} axes (cap 64)")
+    out: list = []
+    for item in spec:
+        if item is None:
+            out.append(slice(None))
+        elif isinstance(item, bool):
+            raise StreamFormatError("window component must not be a bool")
+        elif isinstance(item, int):
+            out.append(item)
+        elif (
+            isinstance(item, list)
+            and len(item) == 2
+            and all(x is None or (isinstance(x, int) and not isinstance(x, bool))
+                    for x in item)
+        ):
+            out.append(slice(item[0], item[1]))
+        else:
+            raise StreamFormatError(f"bad window component {item!r}")
+    return tuple(out)
+
+
+#: Dtypes an array may cross the wire as; anything else is rejected
+#: before ``np.frombuffer`` sees attacker-controlled strings.
+_WIRE_DTYPES = frozenset({"float32", "float64", "int32", "int64"})
+
+
+def array_to_wire(arr: np.ndarray) -> tuple[dict, bytes]:
+    """Split an array into a JSON-safe header and a raw byte payload."""
+    dtype = str(arr.dtype)
+    if dtype not in _WIRE_DTYPES:
+        raise InvalidArgumentError(
+            f"dtype {dtype} not supported on the wire ({sorted(_WIRE_DTYPES)})"
+        )
+    return (
+        {"shape": list(arr.shape), "dtype": dtype},
+        np.ascontiguousarray(arr).tobytes(),
+    )
+
+
+def array_from_wire(header: dict, payload: bytes) -> np.ndarray:
+    """Rebuild an array from a wire header + payload, untrusted-safe.
+
+    The declared shape is validated against the decode-side allocation
+    cap, the dtype must be on the allowlist, and the payload length must
+    match the declared geometry exactly.  Unlike container shapes, wire
+    shapes may be 0-D (an integer-index window squeezes to a scalar) or
+    carry zero extents (an empty slice reads an empty window).
+    """
+    with decode_guard("service"):
+        dtype_name = header["dtype"]
+        if not isinstance(dtype_name, str) or dtype_name not in _WIRE_DTYPES:
+            raise StreamFormatError(
+                f"wire dtype {dtype_name!r} not in {sorted(_WIRE_DTYPES)}"
+            )
+        raw_shape = header["shape"]
+        if not isinstance(raw_shape, list) or len(raw_shape) > 64:
+            raise StreamFormatError(f"bad wire shape {raw_shape!r}")
+        shape = tuple(int(s) for s in raw_shape)
+        if any(n < 0 for n in shape):
+            raise StreamFormatError(f"bad wire shape {shape}")
+        npoints = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        if npoints > MAX_DECODE_POINTS:
+            raise AllocationLimitError(
+                f"wire array declares shape {shape} ({npoints} points), "
+                f"beyond the {MAX_DECODE_POINTS}-point decode cap"
+            )
+        dtype = np.dtype(dtype_name)
+        want = npoints * dtype.itemsize
+        if len(payload) != want:
+            raise StreamFormatError(
+                f"wire array declares {want} bytes ({shape} {dtype_name}) "
+                f"but carries {len(payload)}"
+            )
+        return np.frombuffer(payload, dtype=dtype).reshape(shape).copy()

@@ -20,7 +20,12 @@ path, and the progressive truncation primitives apply unchanged.
 See ``docs/store.md`` for the on-disk format and cache semantics.
 """
 
-from .cache import DEFAULT_CACHE_BYTES, DecodedChunkCache
+from .cache import (
+    DEFAULT_CACHE_BYTES,
+    DecodedChunkCache,
+    TenantCacheBudget,
+    TenantCacheView,
+)
 from .format import (
     DEFAULT_SHARD_BYTES,
     INDEX_NAME,
@@ -39,6 +44,8 @@ __all__ = [
     "open_store",
     "CompressedArray",
     "DecodedChunkCache",
+    "TenantCacheBudget",
+    "TenantCacheView",
     "DEFAULT_CACHE_BYTES",
     "DEFAULT_SHARD_BYTES",
     "StoreIndex",

@@ -313,6 +313,29 @@ class CompressedArray:
         """Decode one full frame (a full-array :meth:`read_window`)."""
         return self.read_window(None, frame=frame, **kwargs)
 
+    def chunks_for_window(
+        self, window=None, *, frame: int = 0
+    ) -> list[int]:
+        """Chunk ids a :meth:`read_window` of ``window`` would touch.
+
+        Pure geometry — no shard file is opened.  A service front door
+        uses this to coalesce concurrent reads that share chunks before
+        any decode work is scheduled.
+        """
+        if not 0 <= frame < self.n_frames:
+            raise InvalidArgumentError(
+                f"frame {frame} out of range for {self.n_frames} stored frames"
+            )
+        bounds, _squeeze = _normalize_window(self.shape, window)
+        return [
+            i
+            for i, chunk in enumerate(self._index.chunks)
+            if all(
+                a < hi and lo < b
+                for (a, b), (lo, hi) in zip(chunk.bounds, bounds)
+            )
+        ]
+
     def read_window(
         self,
         window=None,
@@ -324,6 +347,7 @@ class CompressedArray:
         fill_value: float = float("nan"),
         executor: str | None = None,
         workers: int | None = None,
+        cache=None,
     ) -> np.ndarray | DecodeResult:
         """Decode the region of ``window``, touching only intersecting chunks.
 
@@ -338,7 +362,12 @@ class CompressedArray:
         budgeted chunks bypass the cache.  ``on_error="salvage"``
         returns a :class:`~repro.core.container.DecodeResult` whose
         report lists damaged chunks; only their window intersection is
-        filled with ``fill_value``.
+        filled with ``fill_value``.  ``cache`` overrides the store's
+        shared decoded-chunk cache for this read (anything with the
+        :class:`~repro.store.cache.DecodedChunkCache` ``get``/``put``
+        surface, e.g. a :class:`~repro.store.TenantCacheView`) — the
+        service tier uses this to route each request through its
+        tenant's slice of a shared budget.
         """
         if not 0 <= frame < self.n_frames:
             raise InvalidArgumentError(
@@ -363,6 +392,7 @@ class CompressedArray:
             )
         executor = self.executor if executor is None else executor
         workers = self.workers if workers is None else workers
+        cache = self.cache if cache is None else cache
 
         with obs.span(
             "store.read_window",
@@ -383,7 +413,7 @@ class CompressedArray:
             parts: dict[int, np.ndarray] = {}
             misses: list[int] = []
             for i in chosen:
-                cached = self.cache.get((frame, i, level)) if use_cache else None
+                cached = cache.get((frame, i, level)) if use_cache else None
                 if cached is not None:
                     parts[i] = cached
                     obs.add_counter("store.cache.hits")
@@ -424,7 +454,7 @@ class CompressedArray:
                     if status == "ok":
                         parts[i] = value
                         if use_cache:
-                            self.cache.put((frame, i, level), value)
+                            cache.put((frame, i, level), value)
                     else:
                         failures[i] = (status, str(value))
             else:
@@ -435,7 +465,7 @@ class CompressedArray:
                 for i, arr in zip(readable, decoded):
                     parts[i] = arr
                     if use_cache:
-                        self.cache.put((frame, i, level), arr)
+                        cache.put((frame, i, level), arr)
             obs.add_counter("store.chunks.decoded", len(misses))
 
             for i in chosen:

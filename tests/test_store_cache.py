@@ -169,3 +169,163 @@ class TestConcurrentReaders:
         assert c.get("store.cache.hits", 0) == 0
         assert c["store.cache.misses"] == c["store.chunks.requested"] == 2
         assert c["store.chunks.decoded"] == 2
+
+
+class TestTenantCacheBudget:
+    """Per-tenant quotas, eviction order, and the isolation guarantee."""
+
+    def _budget(self, **kw):
+        from repro.store import TenantCacheBudget
+
+        return TenantCacheBudget(**kw)
+
+    def test_tenants_do_not_share_keys(self):
+        budget = self._budget(max_bytes=4096)
+        a, b = _arr(256, 1.0), _arr(256, 2.0)
+        assert budget.put("t1", "k", a)
+        assert budget.put("t2", "k", b)
+        assert budget.get("t1", "k") is a
+        assert budget.get("t2", "k") is b
+        assert budget.nbytes == 512
+
+    def test_quota_evicts_own_lru_first(self):
+        budget = self._budget(max_bytes=4096, default_quota=512)
+        budget.put("t", "a", _arr(256, 0))
+        budget.put("t", "b", _arr(256, 0))
+        budget.get("t", "a")  # refresh: "b" becomes this tenant's LRU
+        budget.put("t", "c", _arr(256, 0))
+        assert budget.get("t", "b") is None
+        assert budget.get("t", "a") is not None
+        assert budget.get("t", "c") is not None
+        assert budget.stats()["tenants"]["t"]["evictions"] == 1
+
+    def test_oversized_entry_not_cached(self):
+        budget = self._budget(max_bytes=4096, default_quota=256)
+        assert not budget.put("t", "big", _arr(512, 0))
+        assert budget.get("t", "big") is None
+        assert budget.nbytes == 0
+
+    def test_replace_same_key_reaccounts_bytes(self):
+        budget = self._budget(max_bytes=4096, default_quota=1024)
+        budget.put("t", "k", _arr(256, 0))
+        budget.put("t", "k", _arr(512, 0))
+        stats = budget.stats()["tenants"]["t"]
+        assert stats["entries"] == 1 and stats["nbytes"] == 512
+
+    def test_within_quota_tenant_survives_anothers_flood(self):
+        # Quotas sum to the ceiling: the protective guarantee must hold.
+        budget = self._budget(max_bytes=1024, default_quota=512)
+        for key in ("a1", "a2"):  # tenant A fills its quota exactly
+            budget.put("alice", key, _arr(256, 1.0))
+        for i in range(20):  # tenant B floods far past its own quota
+            budget.put("bob", f"b{i}", _arr(256, 2.0))
+        assert budget.get("alice", "a1") is not None
+        assert budget.get("alice", "a2") is not None
+        stats = budget.stats()["tenants"]
+        assert stats["alice"]["evictions"] == 0
+        assert stats["bob"]["evictions"] > 0
+        assert stats["bob"]["nbytes"] <= 512
+        assert budget.nbytes <= 1024
+
+    def test_ceiling_evicts_over_quota_tenants_first(self):
+        # Quotas oversubscribe the ceiling; "greedy" is over quota while
+        # "modest" is within its own -- greedy must lose first.
+        budget = self._budget(
+            max_bytes=1024, quotas={"modest": 512, "greedy": 768}
+        )
+        budget.put("modest", "m1", _arr(256, 0))
+        budget.put("greedy", "g1", _arr(256, 0))
+        budget.put("greedy", "g2", _arr(256, 0))
+        budget.put("greedy", "g3", _arr(256, 0))  # greedy: 768 == quota
+        # Ceiling now binds (1024 resident + 256 incoming): greedy goes
+        # over quota with this insert and must evict its own oldest.
+        budget.put("greedy", "g4", _arr(256, 0))
+        assert budget.get("modest", "m1") is not None
+        assert budget.get("greedy", "g1") is None
+        assert budget.nbytes <= 1024
+
+    def test_ceiling_falls_back_to_global_lru_when_all_within_quota(self):
+        # Both tenants within quota but the ceiling is oversubscribed:
+        # the globally oldest entry loses, whoever owns it.
+        budget = self._budget(max_bytes=512, default_quota=512)
+        budget.put("t1", "old", _arr(256, 0))
+        budget.put("t2", "mid", _arr(256, 0))
+        budget.put("t1", "new", _arr(256, 0))
+        assert budget.get("t1", "old") is None  # globally oldest evicted
+        assert budget.get("t2", "mid") is not None
+        assert budget.get("t1", "new") is not None
+
+    def test_hit_refreshes_against_global_lru(self):
+        budget = self._budget(max_bytes=512, default_quota=512)
+        budget.put("t1", "a", _arr(256, 0))
+        budget.put("t2", "b", _arr(256, 0))
+        budget.get("t1", "a")  # refresh: t2's entry is now globally LRU
+        budget.put("t1", "c", _arr(256, 0))
+        assert budget.get("t2", "b") is None
+        assert budget.get("t1", "a") is not None
+
+    def test_zero_quota_disables_one_tenant_only(self):
+        budget = self._budget(max_bytes=4096, quotas={"cold": 0})
+        assert not budget.put("cold", "k", _arr(256, 0))
+        assert budget.put("warm", "k", _arr(256, 0))
+        assert not budget.view("cold").enabled
+        assert budget.view("warm").enabled
+
+    def test_invalid_configuration_rejected(self):
+        from repro.store import TenantCacheBudget
+
+        with pytest.raises(InvalidArgumentError):
+            TenantCacheBudget(-1)
+        with pytest.raises(InvalidArgumentError):
+            TenantCacheBudget(1024, default_quota=-1)
+        with pytest.raises(InvalidArgumentError):
+            TenantCacheBudget(1024, quotas={"t": -5})
+
+    def test_clear_keeps_quotas_and_counters(self):
+        budget = self._budget(max_bytes=4096, quotas={"t": 512})
+        budget.put("t", "k", _arr(256, 0))
+        budget.get("t", "k")
+        budget.clear()
+        assert budget.nbytes == 0
+        assert budget.get("t", "k") is None
+        stats = budget.stats()["tenants"]["t"]
+        assert stats["hits"] == 1 and stats["quota"] == 512
+
+
+class TestTenantCacheView:
+    def test_view_is_cache_override_compatible(self, small_store):
+        """A TenantCacheView plugged into read_window behaves as a cache."""
+        from repro.store import TenantCacheBudget
+
+        path, full = small_store
+        arr = open_store(path, cache_bytes=0)
+        budget = TenantCacheBudget(1 << 20)
+        view = budget.view("tenant")
+        window = (slice(0, 16),) * 3
+        with obs.trace("t") as tracer:
+            first = arr.read_window(window, cache=view)
+            second = arr.read_window(window, cache=view)
+        assert np.array_equal(first, full[window])
+        assert np.array_equal(second, full[window])
+        c = tracer.report().counters
+        assert c["store.chunks.decoded"] == c["store.cache.misses"]
+        assert c.get("store.cache.hits", 0) > 0  # warm pass hit the view
+        assert budget.stats()["tenants"]["tenant"]["entries"] > 0
+
+    def test_view_arrays_are_readonly(self):
+        from repro.store import TenantCacheBudget
+
+        view = TenantCacheBudget(4096).view("t")
+        arr = _arr(256, 3.0)
+        assert view.put("k", arr)
+        hit = view.get("k")
+        assert hit is arr and not hit.flags.writeable
+        stats = view.stats()
+        assert stats["entries"] == 1 and stats["max_bytes"] == 4096
+
+    def test_empty_view_stats(self):
+        from repro.store import TenantCacheBudget
+
+        view = TenantCacheBudget(4096, quotas={"q": 128}).view("q")
+        stats = view.stats()
+        assert stats["entries"] == 0 and stats["quota"] == 128
