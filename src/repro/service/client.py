@@ -157,7 +157,9 @@ class ServiceClient:
         with self._lock:
             if self._sock is None:
                 raise StreamFormatError("client is closed")
-            self._next_id = (self._next_id + 1) & 0xFFFFFFFF
+            # Skip 0 on wrap: rid 0 is reserved for connection-level
+            # protocol errors.
+            self._next_id = (self._next_id % 0xFFFFFFFF) + 1
             request_id = self._next_id
             frame = encode_message(
                 Message(kind, request_id, header, payload),
@@ -340,7 +342,9 @@ class AsyncServiceClient:
     async def _request(
         self, kind: int, header: dict, payload: bytes = b""
     ) -> Message:
-        self._next_id = (self._next_id + 1) & 0xFFFFFFFF
+        # Skip 0 on wrap: rid 0 is reserved for connection-level
+        # protocol errors (a rid-0 frame fails *all* pending requests).
+        self._next_id = (self._next_id % 0xFFFFFFFF) + 1
         request_id = self._next_id
         frame = encode_message(
             Message(kind, request_id, header, payload),

@@ -30,6 +30,7 @@ misinterpreting lengths.
 from __future__ import annotations
 
 import json
+import math
 import struct
 import zlib
 from dataclasses import dataclass, field
@@ -370,7 +371,9 @@ def array_from_wire(header: dict, payload: bytes) -> np.ndarray:
         shape = tuple(int(s) for s in raw_shape)
         if any(n < 0 for n in shape):
             raise StreamFormatError(f"bad wire shape {shape}")
-        npoints = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        # Arbitrary-precision product: np.prod(..., dtype=int64) wraps
+        # silently for huge extents, which would bypass the cap check.
+        npoints = math.prod(shape)
         if npoints > MAX_DECODE_POINTS:
             raise AllocationLimitError(
                 f"wire array declares shape {shape} ({npoints} points), "

@@ -461,15 +461,61 @@ class CompressionService:
         self._inflight_total += 1
         try:
             response = await self._handle_data(msg, tenant, trace_id)
+            response = self._response_within_cap(response, msg.request_id)
+            self._count("responses_error" if response.kind == MSG_ERROR
+                        else "responses_ok")
+            # The send stays inside the admission window: a pipelining
+            # client that stops reading pins its in-flight slots (new
+            # requests get backpressure) instead of letting completed
+            # payloads pile up in blocked send tasks without bound.
+            await self._send_response(
+                writer, write_lock, response, msg.request_id
+            )
         finally:
             self._tenant_inflight[tenant] -= 1
             if self._tenant_inflight[tenant] <= 0:
                 del self._tenant_inflight[tenant]
             self._inflight_total -= 1
-        self._count("responses_error" if response.kind == MSG_ERROR
-                    else "responses_ok")
-        await self._send(writer, write_lock, response)
         self._record_latency(op, loop.time() - t0)
+
+    def _response_within_cap(self, response: Message, request_id: int) -> Message:
+        """Replace a response whose payload exceeds the frame cap.
+
+        ``MAX_DECODE_POINTS`` admits windows far larger than the default
+        payload cap, so an oversized result is a legitimate-request
+        outcome; it must surface as a structured error, not as an
+        ``encode_message`` failure that would black-hole the request.
+        """
+        if len(response.payload) <= self.config.max_payload_bytes:
+            return response
+        self._count("oversized_responses")
+        return _error(
+            request_id, ERR_BAD_REQUEST,
+            f"response payload is {len(response.payload)} bytes, above the "
+            f"{self.config.max_payload_bytes}-byte frame cap; request a "
+            f"smaller window or raise max_payload_bytes",
+        )
+
+    async def _send_response(
+        self, writer, write_lock, response: Message, request_id: int
+    ) -> None:
+        """Send a response; on encoding failure reply with ERR_INTERNAL.
+
+        Last-resort boundary: the client must always get *some* frame
+        for its request id, or it hangs waiting on a response that was
+        never written.
+        """
+        try:
+            await self._send(writer, write_lock, response)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # client went away; nothing left to tell it
+        except Exception as exc:  # noqa: BLE001 - encoding failed
+            self._count("internal_errors")
+            await self._send(
+                writer, write_lock,
+                _error(request_id, ERR_INTERNAL,
+                       f"response encoding failed: {type(exc).__name__}: {exc}"),
+            )
 
     def _handle_control(self, msg: Message) -> Message:
         """ping / stats / info — answered inline on the event loop."""

@@ -258,6 +258,14 @@ class TestArrayMarshalling:
         with pytest.raises(StreamFormatError):
             array_from_wire({"shape": [-1, 4], "dtype": "float64"}, b"")
 
+    def test_overflowing_shape_product_rejected(self):
+        # int64-accumulated products wrap ([2**32, 2**32] -> 0) and would
+        # slip past the decode-point cap; the check must be exact.
+        with pytest.raises(AllocationLimitError):
+            array_from_wire(
+                {"shape": [1 << 32, 1 << 32], "dtype": "float64"}, b""
+            )
+
 
 # -- fault injection over the frame parser ---------------------------------
 
@@ -495,6 +503,97 @@ class TestServerProtocolAbuse:
             # The server is still fine for well-behaved clients.
             with ServiceClient(handle.host, handle.port) as c:
                 assert c.ping()
+
+
+class TestResponsePayloadCap:
+    """Responses above ``max_payload_bytes`` must come back as structured
+    errors — never as an encode failure that black-holes the request
+    (the client would hang on a response frame that is never written)."""
+
+    CAP = 64 << 10  # the full 32^3 float64 store is 256 KiB, 4x over
+
+    def test_oversized_read_response_is_structured(self, store_path):
+        config = ServiceConfig(max_payload_bytes=self.CAP)
+        with serve_in_thread(store_path, config=config) as handle:
+            with ServiceClient(handle.host, handle.port) as c:
+                with pytest.raises(ServiceError) as err:
+                    c.read_window(None)
+                assert err.value.code == "bad_request"
+                assert "cap" in str(err.value)
+                # The connection survives, and reads that fit still work.
+                small = c.read_window((slice(0, 8), slice(0, 8), slice(0, 8)))
+                assert small.shape == (8, 8, 8)
+                counters = c.stats()["counters"]
+                assert counters["oversized_responses"] >= 1
+                assert counters.get("internal_errors", 0) == 0
+
+    def test_oversized_decompress_response_is_structured(self):
+        config = ServiceConfig(max_payload_bytes=self.CAP)
+        with serve_in_thread(None, config=config) as handle:
+            # The request (compressed payload) fits under the cap; the
+            # decompressed response (128 KiB raw) does not.
+            data = _field((128, 128), seed=4)
+            payload = compress(data, PweMode(PWE)).payload
+            assert len(payload) <= self.CAP
+            with ServiceClient(handle.host, handle.port) as c:
+                with pytest.raises(ServiceError) as err:
+                    c.decompress(payload)
+                assert err.value.code == "bad_request"
+                assert c.ping()
+
+    def test_pipelined_oversized_reads_all_resolve(self, store_path):
+        # Regression: an unanswered oversized read left the async
+        # client's future pending forever.
+        config = ServiceConfig(max_payload_bytes=self.CAP)
+        with serve_in_thread(store_path, config=config) as handle:
+
+            async def drive():
+                async with await AsyncServiceClient.connect(
+                    handle.host, handle.port
+                ) as client:
+                    async def read(window):
+                        try:
+                            return await client.read_window(window)
+                        except ServiceError as exc:
+                            return exc
+
+                    small = (slice(0, 8), slice(0, 8), slice(0, 8))
+                    return await asyncio.wait_for(
+                        asyncio.gather(read(None), read(small), read(None)),
+                        timeout=30.0,
+                    )
+
+            big1, small, big2 = asyncio.run(drive())
+            for err in (big1, big2):
+                assert isinstance(err, ServiceError)
+                assert err.code == "bad_request"
+            assert small.shape == (8, 8, 8)
+
+
+class TestRequestIdWrap:
+    """Request ids skip 0 on wrap: rid 0 is the connection-level error
+    channel, and an echo of it would be ambiguous (async clients fail
+    *all* pending requests on a rid-0 error frame)."""
+
+    def test_sync_client_skips_zero(self, client):
+        client._next_id = 0xFFFFFFFF
+        assert client.ping()
+        assert client._next_id == 1
+        assert client.ping()  # and keeps counting normally
+        assert client._next_id == 2
+
+    def test_async_client_skips_zero(self, server):
+        async def drive():
+            async with await AsyncServiceClient.connect(
+                server.host, server.port
+            ) as c:
+                c._next_id = 0xFFFFFFFF
+                ok = await c.ping()
+                return ok, c._next_id
+
+        ok, next_id = asyncio.run(drive())
+        assert ok is True
+        assert next_id == 1
 
 
 class TestAsyncClient:
