@@ -400,6 +400,199 @@ def measure_store_micro(repeats: int = 3) -> dict:
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+#: Calibration probe size: a fixed numpy workload (unpackbits, cumsum,
+#: table gather, packbits) over this many bytes.  The probe exercises
+#: the same primitive mix as the lossless kernels, so its MB/s tracks
+#: how fast *this* machine runs them — letting the gate scale absolute
+#: MB/s floors instead of flapping on slower CI boxes.
+_CALIBRATION_BYTES = 4 << 20
+
+
+def measure_calibration(repeats: int = 3) -> dict:
+    """Machine-speed probe: MB/s on a fixed numpy kernel workload.
+
+    The workload is deterministic (seeded) and dependency-free, so the
+    number is comparable across commits on the same box and across boxes
+    of the same class.  ``check_regression`` divides the current probe
+    by the recorded one to scale the absolute lossless/zfp MB/s floors:
+    a box running the probe at half speed gets half the floor.
+    """
+    rng = np.random.default_rng(1234)
+    data = rng.integers(0, 256, size=_CALIBRATION_BYTES, dtype=np.uint8)
+    table = rng.permutation(256).astype(np.uint8)
+    # Warm-up, then timed repeats of the fixed kernel mix.
+    times = []
+    for rep in range(max(1, repeats) + 1):
+        t0 = time.perf_counter()
+        bits = np.unpackbits(data)
+        np.cumsum(bits[: _CALIBRATION_BYTES], dtype=np.int64)
+        gathered = table[data]
+        np.packbits(bits)
+        if int(gathered[0]) > 256:  # keep the work observable
+            raise RuntimeError("unreachable")
+        if rep:
+            times.append(time.perf_counter() - t0)
+    mbps = _CALIBRATION_BYTES / 1e6 / statistics.median(times)
+    entry = {"probe_MBps": round(mbps, 2), "bytes": _CALIBRATION_BYTES}
+    print(f"  calibration       probe {mbps:8.1f} MB/s")
+    return entry
+
+
+def measure_zfp_micro(repeats: int = 3) -> dict:
+    """ZFP-like kernel throughput on the 32^3 field, both rate modes.
+
+    ``accuracy`` drives the codec with the standard PWE bound;
+    ``fixed_rate`` pins the per-block bit budget via :class:`SizeMode`
+    (the mode the paper's Fig. 4 rate sweeps use).  MB/s is raw float64
+    input bytes over median wall time, mirroring the lossless micro
+    table, so the gate can hold an absolute floor on the one codec the
+    earlier perf PRs never touched.
+    """
+    from repro.core.modes import SizeMode
+
+    data = _field(tuple(CONFIG["shape_small"]))
+    mb = data.nbytes / 1e6
+    modes = {
+        "accuracy": _pwe(data),
+        "fixed_rate": SizeMode(8.0),
+    }
+    out = {}
+    for name, mode in modes.items():
+        comp = ZfpLikeCompressor()
+        payload = comp.compress(data, mode)  # warm-up
+        e_times, d_times = [], []
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            payload = comp.compress(data, mode)
+            t1 = time.perf_counter()
+            back = comp.decompress(payload)
+            t2 = time.perf_counter()
+            e_times.append(t1 - t0)
+            d_times.append(t2 - t1)
+        if back.shape != data.shape:
+            raise RuntimeError("zfp micro round-trip shape mismatch")
+        entry = {
+            "input_bytes": data.nbytes,
+            "payload_bytes": len(payload),
+            "encode_MBps": round(mb / statistics.median(e_times), 2),
+            "decode_MBps": round(mb / statistics.median(d_times), 2),
+        }
+        out[name] = entry
+        print(
+            f"  zfp/{name:13s} encode {entry['encode_MBps']:8.1f} MB/s   "
+            f"decode {entry['decode_MBps']:8.1f} MB/s"
+        )
+    return out
+
+
+def _adaptive_mixed_field() -> np.ndarray:
+    """The smooth headline field with heavy noise on one half.
+
+    The noisy half pushes the dispatcher's width proxy into SPERR
+    territory while the smooth half stays in szx range, so an adaptive
+    pass over this field must produce a genuinely mixed chunk table.
+    """
+    data = _field(tuple(CONFIG["shape_multichunk"])).copy()
+    rng = np.random.default_rng(99)
+    half = data.shape[0] // 2
+    spread = float(data.max() - data.min())
+    data[half:] += rng.normal(0.0, 0.5 * spread, size=data[half:].shape)
+    return data
+
+
+def measure_adaptive(repeats: int = 3) -> dict:
+    """RD-vs-throughput for the codec policies on smooth and mixed data.
+
+    For each (field, policy) cell this times ``compress``/``decompress``
+    end to end at the same PWE bound, verifies the bound on the decoded
+    output, and records payload size plus the per-chunk routing counts
+    read back from the container chunk table — so the JSON shows *what*
+    the dispatcher decided, not just how fast it ran.  The summary keys
+    are what the gate consumes: ``fast_speedup_smooth`` (szx tier vs the
+    pure SPERR path on smooth chunks, ISSUE target >= 5x) and
+    ``adaptive_vs_quality`` (adaptive must never be slower than pure
+    SPERR, on either field).
+    """
+    from repro.core import compress, decompress
+    from repro.core.adaptive import CODEC_POLICIES
+    from repro.core.container import parse_container
+
+    chunk = CONFIG["chunk"]
+    smooth_data = _field(tuple(CONFIG["shape_multichunk"]))
+    mixed_data = _adaptive_mixed_field()
+    # The smooth field runs at the headline 1e-3 relative bound.  The
+    # mixed field runs 100x tighter: at 1e-3 even heavy noise stays
+    # within the szx width threshold (a first difference can never
+    # exceed the value range, so the width proxy is bounded by
+    # ~log2(1/tol_rel)), and the point of this cell is to exercise a
+    # genuine sperr/szx split in one container.
+    fields = {
+        "smooth": (smooth_data, _pwe(smooth_data)),
+        "mixed": (
+            mixed_data,
+            PweMode(1e-5 * float(mixed_data.max() - mixed_data.min())),
+        ),
+    }
+    out: dict = {}
+    for fname, (data, mode) in fields.items():
+        cell: dict = {}
+        for policy in CODEC_POLICIES:
+            result = compress(data, mode, chunk_shape=chunk, codec=policy)
+            c_times, d_times = [], []
+            for _ in range(max(1, repeats)):
+                t0 = time.perf_counter()
+                result = compress(data, mode, chunk_shape=chunk, codec=policy)
+                t1 = time.perf_counter()
+                back = decompress(result.payload)
+                t2 = time.perf_counter()
+                c_times.append(t1 - t0)
+                d_times.append(t2 - t1)
+            worst = float(np.max(np.abs(back - data)))
+            if worst > mode.tolerance * 1.0000001:
+                raise RuntimeError(
+                    f"adaptive bench: {policy} on {fname} violated the bound"
+                )
+            parsed = parse_container(result.payload)
+            tags = parsed.codec_tags
+            counts = {"sperr": len(parsed.streams), "szx": 0, "stored": 0}
+            if tags is not None:
+                counts = {
+                    "sperr": sum(1 for t in tags if t == 0),
+                    "szx": sum(1 for t in tags if t == 1),
+                    "stored": sum(1 for t in tags if t == 2),
+                }
+            cell[policy] = {
+                "compress_s": statistics.median(c_times),
+                "decompress_s": statistics.median(d_times),
+                "payload_bytes": len(result.payload),
+                "max_err_over_tol": round(worst / mode.tolerance, 4),
+                "routing": counts,
+            }
+            print(
+                f"  adaptive/{fname:7s} {policy:9s} "
+                f"compress {cell[policy]['compress_s'] * 1e3:8.1f} ms   "
+                f"{cell[policy]['payload_bytes']:9d} B   routing {counts}"
+            )
+        out[fname] = cell
+    smooth = out["smooth"]
+    out["fast_speedup_smooth"] = round(
+        smooth["quality"]["compress_s"] / smooth["fast"]["compress_s"], 3
+    )
+    out["adaptive_vs_quality"] = {
+        fname: round(
+            out[fname]["quality"]["compress_s"]
+            / out[fname]["adaptive"]["compress_s"],
+            3,
+        )
+        for fname in fields
+    }
+    print(
+        f"  adaptive summary: fast {out['fast_speedup_smooth']:.2f}x on smooth "
+        f"(target >= 5x), adaptive-vs-quality {out['adaptive_vs_quality']}"
+    )
+    return out
+
+
 def _plan_cache_stats() -> dict:
     """Plan-cache hit/miss counters, when the cache layer is available."""
     try:
@@ -441,6 +634,9 @@ def run(argv: list[str] | None = None) -> int:
     scaling = measure_chunk_scaling(repeats)
     micro = measure_lossless_micro(repeats)
     store_micro = measure_store_micro(repeats)
+    calibration = measure_calibration(repeats)
+    zfp_micro = measure_zfp_micro(repeats)
+    adaptive = measure_adaptive(repeats)
 
     doc = {}
     if BENCH_FILE.exists():
@@ -467,6 +663,9 @@ def run(argv: list[str] | None = None) -> int:
             "chunk_scaling": scaling,
             "lossless_micro": micro,
             "store_micro": store_micro,
+            "calibration": calibration,
+            "zfp_micro": zfp_micro,
+            "adaptive": adaptive,
             "plan_cache": _plan_cache_stats(),
         }
     )

@@ -19,6 +19,7 @@ Quickstart::
 """
 
 from .core import (
+    CODEC_POLICIES,
     CompressionResult,
     DecodeReport,
     DecodeResult,
@@ -44,6 +45,7 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CODEC_POLICIES",
     "CompressionResult",
     "DecodeReport",
     "DecodeResult",

@@ -12,9 +12,12 @@ one bit per cell:
 * for PWE-mode codecs, ``|x - x'| <= tolerance`` on every valid sample.
 
 Baselines run behind :class:`~repro.compressors.masked.MaskedCompressor`
-(their native formats predate the mask work); SPERR's container handles
-masks natively.  4-D scenarios compress frame-by-frame along the
-leading axis, matching the paper's time-series treatment.
+(their native formats predate the mask work); SPERR's container and the
+szx fast tier handle masks natively.  The matrix also carries an
+``adaptive`` row — the chunked core pipeline under per-chunk codec
+dispatch — whose cells report the chunk-routing counts read back from
+the container's chunk table.  4-D scenarios compress frame-by-frame
+along the leading axis, matching the paper's time-series treatment.
 
 ``run_scorecard(smoke_only=True)`` is the tier-1 subset used by the
 regression gate; the full matrix backs the opt-in CI sweep and the
@@ -61,6 +64,9 @@ class ScorecardCell:
     seconds: float | None = None
     error: str | None = None
     notes: tuple[str, ...] = ()
+    #: Per-chunk codec routing counts (adaptive rows only), e.g.
+    #: ``{"sperr": 4, "szx": 4}``.
+    routing: dict | None = None
 
 
 @dataclass
@@ -131,10 +137,56 @@ def _check_cell(
     return True, None, err, quality
 
 
+class _AdaptivePipeline:
+    """The chunked core pipeline under ``codec="adaptive"`` as a matrix
+    row.
+
+    Unlike the registry codecs this is the full container path — masks,
+    dtype preservation, and per-chunk dispatch are native — so it is
+    never mask-wrapped.  Routing decisions are read back from the
+    container chunk table and accumulated across frames for the
+    scorecard's ``routing`` column.
+    """
+
+    name = "adaptive"
+    _CHUNK = 16
+
+    def __init__(self) -> None:
+        self.routing: dict[str, int] = {}
+
+    def compress(self, data: np.ndarray, mode) -> bytes:
+        from ..core import compress as core_compress
+        from ..core.adaptive import CODEC_NAMES
+        from ..core.container import parse_container
+
+        payload = core_compress(
+            data, mode, chunk_shape=self._CHUNK, codec="adaptive"
+        ).payload
+        parsed = parse_container(payload)
+        tags = parsed.codec_tags or (0,) * len(parsed.streams)
+        for tag in tags:
+            key = CODEC_NAMES[tag]
+            self.routing[key] = self.routing.get(key, 0) + 1
+        return payload
+
+    def decompress(self, payload: bytes) -> np.ndarray:
+        from ..core import decompress as core_decompress
+
+        return core_decompress(payload)
+
+
 def _make_codec(name: str):
-    """Instantiate one registry codec, mask-wrapped unless it is SPERR."""
+    """Instantiate one matrix codec, mask-wrapped unless self-masking.
+
+    SPERR's container and the szx tier handle NaN/Inf masks and dtype
+    natively; ``adaptive`` is the chunked core pipeline, not a registry
+    codec at all.  Everything else predates the mask work and leans on
+    :class:`MaskedCompressor`.
+    """
+    if name == "adaptive":
+        return _AdaptivePipeline()
     codec = ALL_COMPRESSORS[name]()
-    if name == "sperr":
+    if name in ("sperr", "szx-like"):
         return codec
     return MaskedCompressor(codec)
 
@@ -150,12 +202,13 @@ def run_scorecard(
         scenarios = [
             s for s in SCENARIOS.values() if s.smoke or not smoke_only
         ]
-    names = codecs if codecs is not None else list(ALL_COMPRESSORS)
-    unknown = [n for n in names if n not in ALL_COMPRESSORS]
+    known = set(ALL_COMPRESSORS) | {"adaptive"}
+    names = codecs if codecs is not None else [*ALL_COMPRESSORS, "adaptive"]
+    unknown = [n for n in names if n not in known]
     if unknown:
         raise InvalidArgumentError(
             f"unknown codec(s) {', '.join(unknown)}; "
-            f"choose from {', '.join(sorted(ALL_COMPRESSORS))}"
+            f"choose from {', '.join(sorted(known))}"
         )
     card = Scorecard()
     for scenario in scenarios:
@@ -208,6 +261,7 @@ def run_scorecard(
                     notes=tuple(
                         str(n) for n in getattr(codec, "last_notes", ())
                     ),
+                    routing=dict(getattr(codec, "routing", None) or {}) or None,
                 )
             )
     return card
@@ -226,11 +280,24 @@ def format_scorecard(card: Scorecard) -> str:
                 "-" if c.max_pwe is None else f"{c.max_pwe:.2e}",
                 "-" if c.psnr_db is None else f"{c.psnr_db:.1f}",
                 "-" if c.seconds is None else f"{c.seconds:.2f}",
+                "-"
+                if not c.routing
+                else " ".join(f"{k}:{v}" for k, v in sorted(c.routing.items())),
                 c.error or "",
             ]
         )
     table = format_table(
-        ["scenario", "codec", "verdict", "ratio", "max_pwe", "psnr", "sec", "error"],
+        [
+            "scenario",
+            "codec",
+            "verdict",
+            "ratio",
+            "max_pwe",
+            "psnr",
+            "sec",
+            "routing",
+            "error",
+        ],
         rows,
     )
     verdict = (

@@ -48,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
     bound.add_argument("--bpp", type=float, help="target bitrate (bits per point)")
     c.add_argument("--chunk", type=int, default=None, help="cubic chunk extent")
     c.add_argument(
+        "--mode", default="quality", choices=("quality", "fast", "adaptive"),
+        help="codec routing policy: quality = SPERR everywhere, fast = the "
+        "SZx-style tier everywhere, adaptive = per-chunk dispatch "
+        "(fast/adaptive need --pwe or --idx)",
+    )
+    c.add_argument(
         "--wavelet", default="cdf97", choices=("cdf97", "cdf53", "haar"),
         help="wavelet filter (default cdf97)",
     )
@@ -117,6 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sb_bound.add_argument("--bpp", type=float, help="target bitrate (bits per point)")
     sb.add_argument("--chunk", type=int, default=None, help="cubic chunk extent")
+    sb.add_argument(
+        "--mode", default="quality", choices=("quality", "fast", "adaptive"),
+        help="codec routing policy per chunk (fast/adaptive need --pwe/--idx)",
+    )
     sb.add_argument(
         "--wavelet", default="cdf97", choices=("cdf97", "cdf53", "haar"),
         help="wavelet filter (default cdf97)",
@@ -238,7 +248,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sc.add_argument(
         "--codecs", default=None,
-        help="comma-separated codec subset (default: all five)",
+        help="comma-separated codec subset, incl. 'adaptive' for the "
+        "dispatching pipeline row (default: every codec + adaptive)",
     )
     return parser
 
@@ -273,6 +284,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             wavelet=args.wavelet,
             executor="thread" if args.workers else "serial",
             workers=args.workers,
+            codec=args.mode,
         )
     with open(args.output, "wb") as f:
         f.write(result.payload)
@@ -327,6 +339,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"dtype:    {parsed.dtype}")
     print(f"mode:     {_MODE_NAMES.get(parsed.mode_code, f'code {parsed.mode_code}')}")
     print(f"chunks:   {len(parsed.chunks)}")
+    if parsed.codec_tags:
+        names = ("sperr", "szx", "stored")
+        counts = {n: 0 for n in names}
+        for t in parsed.codec_tags:
+            counts[names[t]] += 1
+        routed = ", ".join(f"{n}={c}" for n, c in counts.items() if c)
+        print(f"codecs:   {routed}")
     print(f"size:     {len(payload)} bytes ({8.0 * len(payload) / npoints:.3f} bpp)")
     if parsed.mask_blob is not None:
         counts = mask_summary(decode_mask(parsed.mask_blob, npoints))
@@ -348,12 +367,13 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
 
     codecs = None
     if args.codecs:
+        known = set(ALL_COMPRESSORS) | {"adaptive"}
         codecs = [n.strip() for n in args.codecs.split(",") if n.strip()]
-        unknown = [n for n in codecs if n not in ALL_COMPRESSORS]
+        unknown = [n for n in codecs if n not in known]
         if unknown:
             print(
                 f"error: unknown compressor(s) {unknown}; choose from "
-                f"{sorted(ALL_COMPRESSORS)}",
+                f"{sorted(known)}",
                 file=sys.stderr,
             )
             return EXIT_BAD_ARGS
@@ -456,6 +476,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
             wavelet=args.wavelet,
             executor="thread" if args.workers else "serial",
             workers=args.workers,
+            codec=args.mode,
             **kwargs,
         ) as writer:
             total = 0
@@ -509,6 +530,11 @@ def _cmd_store(args: argparse.Namespace) -> int:
     print(f"chunks:    {info['n_chunks']} per frame (max level {info['max_level']})")
     print(f"shards:    {info['n_shards']}")
     print(f"payload:   {info['payload_bytes']} bytes")
+    if info.get("codec_counts"):
+        routed = ", ".join(
+            f"{n}={c}" for n, c in info["codec_counts"].items() if c
+        )
+        print(f"codecs:    {routed}")
     if info.get("masked_frames"):
         print(
             f"masks:     frames {info['masked_frames']} carry non-finite "

@@ -7,6 +7,7 @@ from .masked import MaskedCompressor
 from .mgardlike import MgardLikeCompressor
 from .sperr import SperrCompressor
 from .szlike import SzLikeCompressor
+from .szxlike import SzxLikeCompressor
 from .tthreshlike import TthreshLikeCompressor
 from .zfplike import ZfpLikeCompressor
 
@@ -14,6 +15,7 @@ from .zfplike import ZfpLikeCompressor
 ALL_COMPRESSORS = {
     "sperr": SperrCompressor,
     "sz-like": SzLikeCompressor,
+    "szx-like": SzxLikeCompressor,
     "zfp-like": ZfpLikeCompressor,
     "tthresh-like": TthreshLikeCompressor,
     "mgard-like": MgardLikeCompressor,
@@ -29,6 +31,7 @@ __all__ = [
     "psnr_target_for_idx",
     "SperrCompressor",
     "SzLikeCompressor",
+    "SzxLikeCompressor",
     "ZfpLikeCompressor",
     "TthreshLikeCompressor",
     "MgardLikeCompressor",

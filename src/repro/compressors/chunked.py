@@ -183,17 +183,21 @@ class ChunkedCompressor(Compressor):
     def _can_batch(self, mode: Mode, chunks: list[Chunk]) -> bool:
         """Whether the stacked-kernel path applies to this compress call.
 
-        Only the SPERR inner compressor (itself un-chunked, so each tile
-        is one SPERR chunk) has batched kernels, and only for the PWE and
-        size modes; everything else keeps the generic per-tile fan-out.
+        The SPERR inner compressor (itself un-chunked, so each tile is
+        one SPERR chunk) has batched kernels for the PWE and size modes,
+        and the SZx-style compressor runs all tiles through one stacked
+        lane encode; everything else keeps the generic per-tile fan-out.
         """
         from ..core.modes import PweMode, SizeMode
         from .sperr import SperrCompressor
+        from .szxlike import SzxLikeCompressor
 
+        if self.executor != "batch" or len(chunks) < 2:
+            return False
+        if isinstance(self.inner, SzxLikeCompressor):
+            return isinstance(mode, PweMode)
         return (
-            self.executor == "batch"
-            and len(chunks) > 1
-            and isinstance(self.inner, SperrCompressor)
+            isinstance(self.inner, SperrCompressor)
             and self.inner.chunk_shape is None
             and isinstance(mode, (PweMode, SizeMode))
         )
@@ -212,8 +216,25 @@ class ChunkedCompressor(Compressor):
         from ..core.batch import compress_chunks_batched
         from ..core.container import build_container
         from ..core.modes import PweMode
+        from .szxlike import SzxLikeCompressor
 
         inner = self.inner
+        if isinstance(inner, SzxLikeCompressor):
+            # One stacked lane-encode across every tile; each lane's
+            # stream (and so each SZXF frame) is byte-identical to
+            # ``inner.compress(tile, mode)`` on the already-sanitized
+            # float64 tiles this method receives.
+            from .szxlike.codec import encode_chunks
+
+            parts = [
+                np.ascontiguousarray(data[chunk.slices()]) for chunk in chunks
+            ]
+            with span("szx.encode", n_chunks=len(parts)):
+                streams = encode_chunks(parts, mode.tolerance)
+            return [
+                inner.frame_stream(stream, part.ndim)
+                for stream, part in zip(streams, parts)
+            ]
         results = compress_chunks_batched(
             data,
             chunks,

@@ -1,0 +1,29 @@
+"""SZx-style ultra-fast error-bounded codec (the service's fast tier).
+
+See :mod:`repro.compressors.szxlike.blocks` for the block kernels and
+:mod:`repro.compressors.szxlike.codec` for chunk framing plus the
+standalone ``szx-like`` registry compressor.
+"""
+
+from .blocks import BLOCK, MAX_WIDTH, T_CONST, T_DENSE, T_LINEAR, T_RAW
+from .codec import (
+    CHUNK_MAGIC,
+    SzxLikeCompressor,
+    decode_chunk,
+    encode_chunk,
+    encode_chunks,
+)
+
+__all__ = [
+    "BLOCK",
+    "MAX_WIDTH",
+    "T_CONST",
+    "T_DENSE",
+    "T_LINEAR",
+    "T_RAW",
+    "CHUNK_MAGIC",
+    "SzxLikeCompressor",
+    "decode_chunk",
+    "encode_chunk",
+    "encode_chunks",
+]

@@ -165,14 +165,28 @@ def _encode_blocks_vectorized(
 
     # Pass 1: per-plane last-one column and emission lengths (the running
     # significance count n is the exclusive running max of lastpos + 1).
+    # In fixed-rate mode a block whose flag + exponent + payload so far
+    # has reached its budget can emit nothing more — every later 1 would
+    # land past ``limits`` and be clipped — so exhausted blocks drop out
+    # of ``active`` and the loop stops once no block is live.
     lens = np.zeros((planes.size, nb), dtype=np.int64)
     n_at = np.zeros((planes.size, nb), dtype=np.int64)
     lp_at = np.zeros((planes.size, nb), dtype=np.int64)
+    act_at = np.zeros((planes.size, nb), dtype=bool)
     n_cur = np.zeros(nb, dtype=np.int64)
+    cum = np.zeros(nb, dtype=np.int64)
+    n_planes = planes.size
     for pi, k in enumerate(planes):
+        active = nonzero & (k >= kmins)
+        if max_bits is not None:
+            active &= 13 + cum < max_bits
+        if not active.any():
+            # Nobody can come back: per-block activity only ever ends
+            # (k falls below kmin, or the budget fills up).
+            n_planes = pi
+            break
         bitk = (u >> np.uint64(k)) & np.uint64(1)
         lp = (bitk.astype(np.int64) * (cols + 1)).max(axis=1) - 1
-        active = nonzero & (k >= kmins)
         n = n_cur
         has = lp >= n
         e = np.minimum(lp, size - 2)
@@ -189,6 +203,8 @@ def _encode_blocks_vectorized(
         lens[pi] = np.where(active, np.where(has, with_ones, empty), 0)
         n_at[pi] = n
         lp_at[pi] = lp
+        act_at[pi] = active
+        cum += lens[pi]
         n_cur = np.where(active, np.maximum(n, lp + 1), n_cur)
 
     # Block starts and per-plane offsets within each block.
@@ -218,8 +234,9 @@ def _encode_blocks_vectorized(
     drows.append(nz_rows[erow])
 
     # Pass 2: scatter the plane payload ones.
-    for pi, k in enumerate(planes):
-        active = nonzero & (k >= kmins)
+    for pi in range(n_planes):
+        k = planes[pi]
+        active = act_at[pi]
         if not active.any():
             continue
         bitk = ((u >> np.uint64(k)) & np.uint64(1)).astype(bool)

@@ -22,7 +22,20 @@ non-finite mask field to the chunk table — ``mask nbytes u64`` and
 ``mask CRC32 u32`` after the per-chunk CRCs, with the RLE-coded mask
 blob (:mod:`repro.core.mask`) placed between the header and the first
 chunk payload.  v3 is written only when the input carries NaN/Inf
-samples; finite inputs keep producing byte-identical v2 payloads.  Each chunk payload is the self-contained stream of
+samples; finite inputs keep producing byte-identical v2 payloads.
+
+Version 4 (magic ``SPRRPY4\\0``) is the *adaptive* layout: a per-chunk
+codec tag column (``n_chunks * u8``, values from
+:mod:`repro.core.adaptive`) sits between the per-chunk CRCs and the
+mask field, and the mask nbytes/CRC pair is always present (zero for
+finite inputs).  Each chunk stream is then self-contained under its
+tag's decoder — the lossless-wrapped SPERR stream, a raw ``SZX1``
+stream, or verbatim ``RAW1`` bytes — so mixed-codec payloads are
+self-describing.  v4 is written only when at least one chunk routed
+away from sperr; all-sperr output (including everything produced by
+``codec="quality"``, the default) keeps its exact v2/v3 bytes.
+
+Each sperr chunk payload is the self-contained stream of
 :func:`repro.core.pipeline.compress_chunk`, mirroring real SPERR's
 concatenation of independent per-chunk bitstreams (Sec. III-D).  The
 per-chunk CRCs make chunk independence a *fault-isolation* boundary:
@@ -49,6 +62,14 @@ from ..errors import (
     StreamFormatError,
     decode_guard,
 )
+from .adaptive import (
+    CODEC_SPERR,
+    CODEC_STORED,
+    CODEC_SZX,
+    choose_codecs,
+    decode_stored_chunk,
+    encode_stored_chunk,
+)
 from .chunking import Chunk, assemble, plan_chunks
 from .mask import (
     DegradationNote,
@@ -71,9 +92,11 @@ __all__ = [
     "DegradationNote",
     "CONTAINER_VERSION",
     "MASKED_CONTAINER_VERSION",
+    "ADAPTIVE_CONTAINER_VERSION",
     "MAX_TOTAL_POINTS",
     "compress",
     "decompress",
+    "decode_tagged_chunk",
     "parse_container",
     "build_container",
 ]
@@ -81,7 +104,8 @@ __all__ = [
 _MAGIC_V1 = b"SPRRPY1\x00"
 _MAGIC_V2 = b"SPRRPY2\x00"
 _MAGIC_V3 = b"SPRRPY3\x00"
-_MAGIC_BY_VERSION = {1: _MAGIC_V1, 2: _MAGIC_V2, 3: _MAGIC_V3}
+_MAGIC_V4 = b"SPRRPY4\x00"
+_MAGIC_BY_VERSION = {1: _MAGIC_V1, 2: _MAGIC_V2, 3: _MAGIC_V3, 4: _MAGIC_V4}
 
 #: Container format version written by :func:`build_container` by default.
 #: Version 3 adds the non-finite mask section and is only emitted for
@@ -91,6 +115,10 @@ CONTAINER_VERSION = 2
 
 #: Container version carrying a non-finite sample mask (see layout above).
 MASKED_CONTAINER_VERSION = 3
+
+#: Container version carrying per-chunk codec tags (see layout above);
+#: written only when the adaptive dispatcher routed a chunk off sperr.
+ADAPTIVE_CONTAINER_VERSION = 4
 
 #: Hard cap on the number of points a container may declare before the
 #: decoder allocates the output volume.  Untrusted shape fields beyond
@@ -158,19 +186,40 @@ def _compress_chunk_job(
     return packed, report
 
 
+def decode_tagged_chunk(
+    stream: bytes, tag: int, rank: int, expected_shape: tuple[int, ...]
+) -> np.ndarray:
+    """Decode one chunk stream under its chunk-table codec tag.
+
+    Shared by the container decoder and the store reader so every decode
+    path dispatches identically on mixed-codec payloads.
+    """
+    if tag == CODEC_SPERR:
+        with decode_guard("sperr"):
+            return decompress_chunk(
+                lossless.decompress(stream),
+                rank=rank,
+                expected_shape=expected_shape,
+            )
+    if tag == CODEC_SZX:
+        from ..compressors.szxlike.codec import decode_chunk as szx_decode
+
+        return szx_decode(stream, expected_shape=expected_shape)
+    if tag == CODEC_STORED:
+        return decode_stored_chunk(stream, expected_shape=expected_shape)
+    raise StreamFormatError(f"unknown chunk codec tag {tag}")
+
+
 def _decompress_chunk_job(
-    item: tuple[bytes, tuple[int, ...]], rank: int
+    item: tuple[bytes, tuple[int, ...], int], rank: int
 ) -> np.ndarray:
     """Module-level chunk-decode job (picklable for the process executor)."""
-    stream, expected_shape = item
-    with decode_guard("sperr"):
-        return decompress_chunk(
-            lossless.decompress(stream), rank=rank, expected_shape=expected_shape
-        )
+    stream, expected_shape, tag = item
+    return decode_tagged_chunk(stream, tag, rank, expected_shape)
 
 
 def _salvage_chunk_job(
-    item: tuple[bytes, tuple[int, ...], int | None], rank: int
+    item: tuple[bytes, tuple[int, ...], int | None, int], rank: int
 ) -> tuple[str, np.ndarray | str]:
     """Salvage-mode chunk job: never raises, returns ``(status, value)``.
 
@@ -178,13 +227,11 @@ def _salvage_chunk_job(
     summary on failure.  CRC verification happens here (inside the
     executor) so a damaged chunk costs one checksum, not one traceback.
     """
-    stream, expected_shape, crc = item
+    stream, expected_shape, crc, tag = item
     if crc is not None and zlib.crc32(stream) != crc:
         return ("crc_mismatch", f"chunk CRC mismatch (stored {crc:#010x})")
     try:
-        out = decompress_chunk(
-            lossless.decompress(stream), rank=rank, expected_shape=expected_shape
-        )
+        out = decode_tagged_chunk(stream, tag, rank, expected_shape)
         return ("ok", out)
     except Exception as exc:  # noqa: BLE001 - isolation boundary by design
         return ("decode_error", f"{type(exc).__name__}: {exc}")
@@ -201,6 +248,7 @@ def compress(
     executor: str = "batch",
     workers: int | None = None,
     trace: bool = False,
+    codec: str = "quality",
 ) -> CompressionResult:
     """Compress an array into a self-contained SPERR container.
 
@@ -213,6 +261,15 @@ def compress(
     attaches it as ``result.trace``; when an ambient
     :class:`~repro.obs.trace` is already active, spans flow to it
     instead and ``result.trace`` stays ``None``.
+
+    ``codec`` selects the compression tier per chunk
+    (:mod:`repro.core.adaptive`): ``"quality"`` (default) runs every
+    chunk through the SPERR pipeline and is byte-identical to the
+    pre-adaptive behaviour; ``"fast"`` routes every chunk to the
+    SZx-style block codec; ``"adaptive"`` samples each chunk and picks
+    szx / sperr / stored per its smoothness.  ``fast`` and ``adaptive``
+    require a :class:`~repro.core.modes.PweMode` bound, which every
+    tier honors — routing trades ratio against throughput only.
     """
     if trace and not obs.is_active():
         with obs.trace("sperr.compress") as tracer:
@@ -225,6 +282,7 @@ def compress(
                 lossless_method=lossless_method,
                 executor=executor,
                 workers=workers,
+                codec=codec,
             )
         result.trace = tracer.report()
         return result
@@ -237,6 +295,7 @@ def compress(
         lossless_method=lossless_method,
         executor=executor,
         workers=workers,
+        codec=codec,
     )
 
 
@@ -250,8 +309,9 @@ def _compress_impl(
     lossless_method: str,
     executor: str,
     workers: int | None,
+    codec: str = "quality",
 ) -> CompressionResult:
-    """Validation, chunk fan-out, and container framing."""
+    """Validation, chunk fan-out, codec routing, and container framing."""
     data = np.asarray(data)
     if data.dtype not in _DTYPES:
         if np.issubdtype(data.dtype, np.floating) or np.issubdtype(data.dtype, np.integer):
@@ -267,37 +327,59 @@ def _compress_impl(
     mode = tighten_pwe_for_dtype(mode, data)
 
     chunks = plan_chunks(data.shape, chunk_shape)
+    # ``quality`` skips the sampling pass entirely, so the default path
+    # stays byte-identical (and cycle-identical) to the legacy pipeline.
+    if codec == "quality":
+        tags = np.zeros(len(chunks), dtype=np.uint8)
+    else:
+        tags = choose_codecs(
+            [data[c.slices()] for c in chunks], mode, codec
+        )
 
     with obs.span(
         "sperr.compress",
         shape=data.shape,
         chunks=len(chunks),
         executor=executor,
+        codec=codec,
     ):
-        if executor == "batch" and len(chunks) > 1 and not isinstance(mode, PsnrMode):
-            # Same-shaped chunks traverse each stage as one stacked numpy
-            # call; output streams are byte-identical to the serial loop.
-            from .batch import compress_chunks_batched
+        if not tags.any():
+            if executor == "batch" and len(chunks) > 1 and not isinstance(mode, PsnrMode):
+                # Same-shaped chunks traverse each stage as one stacked numpy
+                # call; output streams are byte-identical to the serial loop.
+                from .batch import compress_chunks_batched
 
-            results = compress_chunks_batched(
+                results = compress_chunks_batched(
+                    data,
+                    chunks,
+                    mode,
+                    wavelet=wavelet,
+                    levels=levels,
+                    lossless_method=lossless_method,
+                )
+            else:
+                # Chunks are sliced inside the executor: the process path
+                # ships the volume through shared memory once instead of
+                # pickling every chunk.  ``batch`` with a single chunk (or
+                # PSNR mode, whose per-chunk calibration is sequential)
+                # degrades to the serial reference loop.
+                results = map_chunk_arrays(
+                    _compress_chunk_job,
+                    data,
+                    chunks,
+                    args=(mode, wavelet, levels, lossless_method),
+                    executor=executor,
+                    workers=workers,
+                )
+        else:
+            results = _compress_parts_mixed(
                 data,
                 chunks,
+                tags,
                 mode,
                 wavelet=wavelet,
                 levels=levels,
                 lossless_method=lossless_method,
-            )
-        else:
-            # Chunks are sliced inside the executor: the process path
-            # ships the volume through shared memory once instead of
-            # pickling every chunk.  ``batch`` with a single chunk (or
-            # PSNR mode, whose per-chunk calibration is sequential)
-            # degrades to the serial reference loop.
-            results = map_chunk_arrays(
-                _compress_chunk_job,
-                data,
-                chunks,
-                args=(mode, wavelet, levels, lossless_method),
                 executor=executor,
                 workers=workers,
             )
@@ -307,6 +389,12 @@ def _compress_impl(
         mode_code = 0 if isinstance(mode, PweMode) else (2 if isinstance(mode, PsnrMode) else 1)
         with obs.span("container.build", n_chunks=len(chunks)):
             mask_blob = None if mask_codes is None else encode_mask(mask_codes)
+            if tags.any():
+                version = ADAPTIVE_CONTAINER_VERSION
+            elif mask_blob is not None:
+                version = MASKED_CONTAINER_VERSION
+            else:
+                version = CONTAINER_VERSION
             payload = build_container(
                 data.ndim,
                 np.dtype(data.dtype),
@@ -315,12 +403,105 @@ def _compress_impl(
                 chunks,
                 streams,
                 mask_blob=mask_blob,
-                version=CONTAINER_VERSION
-                if mask_blob is None
-                else MASKED_CONTAINER_VERSION,
+                version=version,
+                codec_tags=tags if tags.any() else None,
             )
         obs.add_counter("container.bytes", len(payload))
     return CompressionResult(payload=payload, reports=reports, notes=notes)
+
+
+def _fast_tier_report(
+    shape: tuple[int, ...], tolerance: float, nbytes: int
+) -> ChunkReport:
+    """Accounting stub for szx/stored chunks (no SPECK/outlier stages)."""
+    return ChunkReport(
+        shape=tuple(shape),
+        q=2.0 * tolerance,
+        tolerance=tolerance,
+        speck_nbits=0,
+        outlier_nbits=0,
+        n_outliers=0,
+        total_nbytes=nbytes,
+    )
+
+
+def _compress_parts_mixed(
+    data: np.ndarray,
+    chunks: list[Chunk],
+    tags: np.ndarray,
+    mode: PweMode | SizeMode | PsnrMode,
+    *,
+    wavelet: str,
+    levels: int | None,
+    lossless_method: str,
+    executor: str,
+    workers: int | None,
+) -> list[tuple[bytes, ChunkReport]]:
+    """Compress a mixed-codec chunk plan, lane by lane.
+
+    sperr-tagged chunks keep their batched/parallel path; szx-tagged
+    chunks run through one stacked :func:`encode_chunks` kernel call
+    (which is byte-identical chunk-by-chunk to serial encoding); stored
+    chunks are framed verbatim.  Results come back in chunk order.
+    """
+    results: list[tuple[bytes, ChunkReport] | None] = [None] * len(chunks)
+    sperr_idx = [i for i, t in enumerate(tags) if t == CODEC_SPERR]
+    szx_idx = [i for i, t in enumerate(tags) if t == CODEC_SZX]
+    stored_idx = [i for i, t in enumerate(tags) if t == CODEC_STORED]
+
+    if sperr_idx:
+        sub = [chunks[i] for i in sperr_idx]
+        if executor == "batch" and len(sub) > 1 and not isinstance(mode, PsnrMode):
+            from .batch import compress_chunks_batched
+
+            pairs = compress_chunks_batched(
+                data,
+                sub,
+                mode,
+                wavelet=wavelet,
+                levels=levels,
+                lossless_method=lossless_method,
+            )
+        else:
+            pairs = map_chunk_arrays(
+                _compress_chunk_job,
+                data,
+                sub,
+                args=(mode, wavelet, levels, lossless_method),
+                executor=executor,
+                workers=workers,
+            )
+        for i, pair in zip(sperr_idx, pairs):
+            results[i] = pair
+
+    # fast/adaptive policies guarantee PweMode before any chunk is
+    # tagged szx or stored (see choose_codecs).
+    if szx_idx:
+        from ..compressors.szxlike.codec import encode_chunks as szx_encode
+
+        views = [
+            np.ascontiguousarray(data[chunks[i].slices()], dtype=np.float64)
+            for i in szx_idx
+        ]
+        with obs.span("szx.encode", n_chunks=len(szx_idx)):
+            streams = szx_encode(views, mode.tolerance)
+        for i, stream, view in zip(szx_idx, streams, views):
+            results[i] = (
+                stream,
+                _fast_tier_report(view.shape, mode.tolerance, len(stream)),
+            )
+
+    if stored_idx:
+        with obs.span("stored.encode", n_chunks=len(stored_idx)):
+            for i in stored_idx:
+                part = data[chunks[i].slices()]
+                stream = encode_stored_chunk(part)
+                results[i] = (
+                    stream,
+                    _fast_tier_report(part.shape, mode.tolerance, len(stream)),
+                )
+
+    return results  # type: ignore[return-value]
 
 
 @dataclass(frozen=True)
@@ -329,11 +510,17 @@ class ParsedContainer:
     streams still lossless-compressed).
 
     ``format_version`` is 1 for legacy payloads, 2 for CRC-protected
-    ones, and 3 for CRC-protected payloads carrying a non-finite sample
-    mask; ``chunk_crcs`` is ``None`` on v1 payloads.  ``mask_blob`` is
-    the raw (still lossless-compressed) mask section of a v3 payload —
+    ones, 3 for CRC-protected payloads carrying a non-finite sample
+    mask, and 4 for adaptive payloads with per-chunk codec tags;
+    ``chunk_crcs`` is ``None`` on v1 payloads.  ``mask_blob`` is
+    the raw (still lossless-compressed) mask section of a v3/v4 payload —
     its stored CRC is in ``mask_crc`` and is verified by
     :func:`decompress`, not here, so salvage can survive mask damage.
+    ``codec_tags`` is the per-chunk codec column of a v4 payload
+    (:data:`~repro.core.adaptive.CODEC_SPERR` /
+    :data:`~repro.core.adaptive.CODEC_SZX` /
+    :data:`~repro.core.adaptive.CODEC_STORED`), ``None`` below v4
+    (every chunk is sperr).
     """
 
     rank: int
@@ -346,6 +533,7 @@ class ParsedContainer:
     chunk_crcs: tuple[int, ...] | None = None
     mask_blob: bytes | None = None
     mask_crc: int | None = None
+    codec_tags: tuple[int, ...] | None = None
 
 
 def parse_container(payload: bytes) -> ParsedContainer:
@@ -362,6 +550,8 @@ def parse_container(payload: bytes) -> ParsedContainer:
         version = 2
     elif payload[:8] == _MAGIC_V3:
         version = 3
+    elif payload[:8] == _MAGIC_V4:
+        version = 4
     else:
         raise StreamFormatError("not a SPERR container (bad magic)")
     try:
@@ -413,9 +603,17 @@ def _parse_container_body(payload: bytes, version: int) -> ParsedContainer:
     chunk_crcs: tuple[int, ...] | None = None
     mask_nbytes = 0
     mask_crc: int | None = None
+    codec_tags: tuple[int, ...] | None = None
     if version >= 2:
         chunk_crcs = struct.unpack_from(f"<{n_chunks}I", payload, pos)
         pos += 4 * n_chunks
+        if version >= 4:
+            codec_tags = struct.unpack_from(f"<{n_chunks}B", payload, pos)
+            pos += n_chunks
+            if any(t > 2 for t in codec_tags):
+                raise StreamFormatError(
+                    "container chunk table carries an unknown codec tag"
+                )
         if version >= 3:
             mask_nbytes, mask_crc = struct.unpack_from("<QI", payload, pos)
             pos += 12
@@ -458,6 +656,7 @@ def _parse_container_body(payload: bytes, version: int) -> ParsedContainer:
         chunk_crcs=chunk_crcs,
         mask_blob=mask_blob,
         mask_crc=mask_crc,
+        codec_tags=codec_tags,
     )
 
 
@@ -471,13 +670,15 @@ def build_container(
     *,
     version: int = CONTAINER_VERSION,
     mask_blob: bytes | None = None,
+    codec_tags: "np.ndarray | tuple[int, ...] | None" = None,
 ) -> bytes:
     """Assemble a container payload from its parts (inverse of parsing).
 
     ``version=2`` (default) writes the CRC-protected layout; ``version=1``
     reproduces the legacy byte layout for compatibility testing.
     ``mask_blob`` (an :func:`repro.core.mask.encode_mask` record)
-    requires ``version=3``.
+    requires ``version>=3``; a ``codec_tags`` column (any chunk routed
+    off sperr) requires ``version=4``.
     """
     if version not in _MAGIC_BY_VERSION:
         raise InvalidArgumentError(f"unknown container version {version}")
@@ -485,6 +686,20 @@ def build_container(
         raise InvalidArgumentError(
             f"a non-finite mask needs container version 3, got {version}"
         )
+    tags = None if codec_tags is None else [int(t) for t in codec_tags]
+    if tags is not None and any(t != CODEC_SPERR for t in tags) and version < 4:
+        raise InvalidArgumentError(
+            f"per-chunk codec tags need container version 4, got {version}"
+        )
+    if version >= 4:
+        if tags is None:
+            tags = [CODEC_SPERR] * len(chunks)
+        if len(tags) != len(chunks):
+            raise InvalidArgumentError(
+                f"{len(tags)} codec tags for {len(chunks)} chunks"
+            )
+        if any(t not in (CODEC_SPERR, CODEC_SZX, CODEC_STORED) for t in tags):
+            raise InvalidArgumentError(f"unknown codec tag in {tags}")
     head = bytearray()
     head += _MAGIC_BY_VERSION[version]
     head += struct.pack("<BBBB", rank, _DTYPES[np.dtype(dtype)], mode_code, 1)
@@ -501,6 +716,8 @@ def build_container(
     if version >= 2:
         for s in streams:
             head += struct.pack("<I", zlib.crc32(s))
+        if version >= 4:
+            head += struct.pack(f"<{len(tags)}B", *tags)
         if version >= 3:
             head += struct.pack("<QI", len(mask), zlib.crc32(mask))
         struct.pack_into("<I", head, _HEADER_CRC_OFFSET, zlib.crc32(bytes(head)))
@@ -622,6 +839,11 @@ def decompress(
             crcs = [None] * len(parsed.streams)
         else:
             crcs = list(parsed.chunk_crcs)
+        tags = (
+            list(parsed.codec_tags)
+            if parsed.codec_tags is not None
+            else [CODEC_SPERR] * len(parsed.streams)
+        )
 
         if on_error == "raise":
             with obs.span("container.verify", n_chunks=len(parsed.streams)):
@@ -629,7 +851,10 @@ def decompress(
                     if crc is not None and zlib.crc32(stream) != crc:
                         raise IntegrityError(f"chunk {i} CRC mismatch")
             work = partial(_decompress_chunk_job, rank=parsed.rank)
-            items = [(s, c.shape) for s, c in zip(parsed.streams, parsed.chunks)]
+            items = [
+                (s, c.shape, t)
+                for s, c, t in zip(parsed.streams, parsed.chunks, tags)
+            ]
             parts, _notes = robust_chunk_map(
                 work, items, executor=executor, workers=workers, timeout=timeout
             )
@@ -642,8 +867,8 @@ def decompress(
         report = DecodeReport(format_version=parsed.format_version)
         work = partial(_salvage_chunk_job, rank=parsed.rank)
         items = [
-            (s, c.shape, crc)
-            for s, c, crc in zip(parsed.streams, parsed.chunks, crcs)
+            (s, c.shape, crc, t)
+            for s, c, crc, t in zip(parsed.streams, parsed.chunks, crcs, tags)
         ]
         results, notes = robust_chunk_map(
             work, items, executor=executor, workers=workers, timeout=timeout

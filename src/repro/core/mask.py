@@ -275,14 +275,14 @@ def tighten_pwe_for_dtype(mode, data: np.ndarray):
     from ..errors import InvalidArgumentError
     from .modes import PweMode
 
-    if (
-        data.dtype != np.float32
-        or not isinstance(mode, PweMode)
-        or not data.size
-        or not np.isfinite(float(data.max()) - float(data.min()))
-    ):
+    if data.dtype != np.float32 or not isinstance(mode, PweMode) or not data.size:
         return mode
-    ulp = float(np.max(np.abs(data))) * 2.0**-23
+    # Only finite samples matter: non-finite positions are mask-restored
+    # exactly, and a stray Inf must not disable the guard entirely.
+    finite = np.abs(data[np.isfinite(data)])
+    if not finite.size:
+        return mode
+    ulp = float(finite.max()) * 2.0**-23
     if mode.tolerance <= 0.5 * ulp:
         raise InvalidArgumentError(
             f"tolerance {mode.tolerance:g} is below float32 precision "

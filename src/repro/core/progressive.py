@@ -125,20 +125,35 @@ def truncate(payload: bytes, fraction: float) -> bytes:
     guarantee — exactly the trade-off of the streaming scenario in
     Sec. VII.
     """
+    from .adaptive import CODEC_SPERR
     from .container import build_container, parse_container
 
     if not 0.0 < fraction <= 1.0:
         raise InvalidArgumentError("fraction must be in (0, 1]")
     parsed = parse_container(payload)
+    tags = parsed.codec_tags or (CODEC_SPERR,) * len(parsed.streams)
     new_streams: list[bytes] = []
-    for stream in parsed.streams:
+    for stream, tag in zip(parsed.streams, tags):
+        if tag != CODEC_SPERR:
+            # szx/stored chunks have no embedded-bitplane structure to
+            # cut; they pass through whole (they are already the cheap
+            # tier) and keep their tag in the rebuilt table.
+            new_streams.append(stream)
+            continue
         with decode_guard("sperr"):
             raw = lossless.decompress(stream)
         new_streams.append(
             lossless.compress(truncate_chunk_stream(raw, fraction), method="auto")
         )
     return build_container(
-        parsed.rank, parsed.dtype, 1, parsed.shape, parsed.chunks, new_streams
+        parsed.rank,
+        parsed.dtype,
+        1,
+        parsed.shape,
+        parsed.chunks,
+        new_streams,
+        version=parsed.format_version if parsed.codec_tags else 2,
+        codec_tags=parsed.codec_tags,
     )
 
 
@@ -168,6 +183,21 @@ def decompress_multires(payload: bytes, level: int) -> np.ndarray:
         from .container import decompress
 
         return decompress(payload)
+
+    from .adaptive import CODEC_SPERR
+
+    tag = parsed.codec_tags[0] if parsed.codec_tags else CODEC_SPERR
+    if tag != CODEC_SPERR:
+        # szx/stored chunks carry no wavelet hierarchy; a coarse view is
+        # produced by full decode + per-level decimation, which matches
+        # the (n+1)//2-per-level extents of the wavelet path.
+        from .container import decode_tagged_chunk
+
+        shape = checked_shape(parsed.shape, "adaptive")
+        box = decode_tagged_chunk(parsed.streams[0], tag, parsed.rank, shape)
+        for _ in range(level):
+            box = box[tuple(slice(None, None, 2) for _ in range(box.ndim))]
+        return box.astype(parsed.dtype, copy=False)
 
     shape = checked_shape(parsed.shape, "sperr")
     with decode_guard("sperr"):

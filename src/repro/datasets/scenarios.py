@@ -133,6 +133,21 @@ def _denormal_field(shape: tuple[int, ...], seed: int) -> np.ndarray:
     return data
 
 
+def _mixed_field(shape: tuple[int, ...], seed: int) -> np.ndarray:
+    """Half smooth, half heavy noise: the adaptive dispatcher's stress case.
+
+    The leading-axis split means a chunked compress sees both genuinely
+    smooth chunks (szx territory) and noise-dominated chunks (sperr
+    territory at tight bounds) in one array.
+    """
+    data = _base_field(shape, seed)
+    rng = np.random.default_rng(seed + 4)
+    half = shape[0] // 2
+    spread = float(data.max() - data.min())
+    data[half:] += rng.normal(0.0, 0.5 * spread, size=data[half:].shape)
+    return data
+
+
 _VARIANTS: dict[str, tuple[str, Callable, str]] = {
     # variant -> (shape key, raw float64 builder, description)
     "smooth": ("default", _base_field, "well-behaved smooth field"),
@@ -141,10 +156,11 @@ _VARIANTS: dict[str, tuple[str, Callable, str]] = {
     "denormal": ("default", _denormal_field, "subnormal-heavy samples"),
     "prime": ("prime", _base_field, "prime axis extents"),
     "noncubic": ("noncubic", _base_field, "16:1 aspect-ratio tile"),
+    "mixed": ("default", _mixed_field, "half smooth, half heavy noise"),
 }
 
 #: Variants in the tier-1 smoke subset (3-D only, both dtypes).
-_SMOKE_VARIANTS = ("smooth", "masked", "constant", "prime")
+_SMOKE_VARIANTS = ("smooth", "masked", "constant", "prime", "mixed")
 
 
 def _make_builder(

@@ -91,12 +91,16 @@ def _read_window_header(window, frame, level, budget, tenant) -> dict:
     return header
 
 
-def _compress_header(data, mode_kind, mode_value, chunk, tenant) -> tuple[dict, bytes]:
+def _compress_header(
+    data, mode_kind, mode_value, chunk, tenant, codec
+) -> tuple[dict, bytes]:
     header, payload = array_to_wire(data)
     header["mode"] = {"kind": mode_kind, "value": float(mode_value)}
     header["tenant"] = tenant
     if chunk is not None:
         header["chunk"] = int(chunk)
+    if codec != "quality":
+        header["codec"] = str(codec)
     return header, payload
 
 
@@ -215,10 +219,18 @@ class ServiceClient:
         bpp: float | None = None,
         psnr: float | None = None,
         chunk: int | None = None,
+        codec: str = "quality",
     ) -> bytes:
-        """Compress an array server-side; returns the container payload."""
+        """Compress an array server-side; returns the container payload.
+
+        ``codec`` selects the routing policy (``quality`` / ``fast`` /
+        ``adaptive``, see :data:`repro.CODEC_POLICIES`); non-quality
+        policies need a PWE mode.
+        """
         kind, value = _pick_mode(pwe, bpp, psnr)
-        header, payload = _compress_header(data, kind, value, chunk, self.tenant)
+        header, payload = _compress_header(
+            data, kind, value, chunk, self.tenant, codec
+        )
         return bytes(self._request(MSG_COMPRESS, header, payload).payload)
 
     def decompress(self, payload: bytes) -> np.ndarray:
@@ -392,10 +404,17 @@ class AsyncServiceClient:
         bpp: float | None = None,
         psnr: float | None = None,
         chunk: int | None = None,
+        codec: str = "quality",
     ) -> bytes:
-        """Compress an array server-side; returns the container payload."""
+        """Compress an array server-side; returns the container payload.
+
+        ``codec`` selects the routing policy (``quality`` / ``fast`` /
+        ``adaptive``); non-quality policies need a PWE mode.
+        """
         kind, value = _pick_mode(pwe, bpp, psnr)
-        header, payload = _compress_header(data, kind, value, chunk, self.tenant)
+        header, payload = _compress_header(
+            data, kind, value, chunk, self.tenant, codec
+        )
         return bytes(
             (await self._request(MSG_COMPRESS, header, payload)).payload
         )

@@ -566,7 +566,10 @@ class CompressionService:
                 and 0 < chunk <= 4096
             ):
                 raise InvalidArgumentError(f"bad chunk spec {chunk!r}")
-            result = compress(data, mode, chunk_shape=chunk)
+            codec = msg.header.get("codec", "quality")
+            if not isinstance(codec, str):
+                raise InvalidArgumentError(f"bad codec spec {codec!r}")
+            result = compress(data, mode, chunk_shape=chunk, codec=codec)
             header = {
                 "nbytes": result.nbytes,
                 "bpp": result.bpp,

@@ -41,6 +41,18 @@ Index layout (little-endian)::
 The v2 magic is written only when at least one frame actually carries
 NaN/Inf samples, so stores of finite data keep the v1 bytes.
 
+``SPRRIDX3`` is the adaptive layout: a per-``(frame, chunk)`` codec tag
+table (:mod:`repro.core.adaptive` tags, ``n_frames * n_chunks * u8``)
+sits between the entries and the mask table, and the mask table is
+always present (zero rows for finite frames)::
+
+    codec tags  n_frames * n_chunks * u8
+    mask table  n_frames * (u64 mask_nbytes, u32 mask_crc)
+    mask blobs  concatenated RLE mask blobs
+
+v3 is written only when some chunk of some frame routed away from
+sperr, so quality-tier stores keep their v1/v2 bytes.
+
 The index is untrusted input: :func:`parse_index` verifies the CRC
 before trusting any field and runs every shape/count through the
 :mod:`repro.errors` trust boundary (:func:`~repro.errors.decode_guard`,
@@ -73,6 +85,7 @@ __all__ = [
     "INDEX_NAME",
     "INDEX_MAGIC",
     "INDEX_MAGIC_V2",
+    "INDEX_MAGIC_V3",
     "SHARD_MAGIC",
     "MAX_FRAMES",
     "DEFAULT_SHARD_BYTES",
@@ -83,6 +96,7 @@ __all__ = [
 
 INDEX_MAGIC = b"SPRRIDX1"
 INDEX_MAGIC_V2 = b"SPRRIDX2"
+INDEX_MAGIC_V3 = b"SPRRIDX3"
 SHARD_MAGIC = b"SPRRSHD1"
 
 #: File name of the footer index inside a store directory.
@@ -133,6 +147,9 @@ class StoreIndex:
     ``levels`` is ``None`` when the writer used the paper's automatic
     per-axis level rule.  ``frame_masks`` holds one RLE non-finite mask
     blob (or ``None``) per frame; all-``None`` stores serialize as v1.
+    ``frame_codecs`` holds one tuple of per-chunk codec tags
+    (:mod:`repro.core.adaptive`) per frame; empty means every chunk is
+    sperr, and all-sperr stores serialize without the v3 tag table.
     """
 
     rank: int
@@ -145,6 +162,13 @@ class StoreIndex:
     n_shards: int
     entries: tuple[tuple[ChunkEntry, ...], ...]
     frame_masks: tuple[bytes | None, ...] = ()
+    frame_codecs: tuple[tuple[int, ...], ...] = ()
+
+    def codec_tag(self, frame: int, chunk: int) -> int:
+        """Codec tag of one stored chunk (sperr when no tag table)."""
+        if not self.frame_codecs:
+            return 0
+        return self.frame_codecs[frame][chunk]
 
     @property
     def n_frames(self) -> int:
@@ -177,9 +201,20 @@ def pack_index(index: StoreIndex) -> bytes:
         raise InvalidArgumentError(
             f"frame_masks has {len(masks)} entries for {index.n_frames} frames"
         )
+    codecs = index.frame_codecs
+    if codecs and len(codecs) != index.n_frames:
+        raise InvalidArgumentError(
+            f"frame_codecs has {len(codecs)} entries for {index.n_frames} frames"
+        )
+    v3 = any(any(t != 0 for t in frame) for frame in codecs)
     v2 = any(m is not None for m in masks)
     out = bytearray()
-    out += INDEX_MAGIC_V2 if v2 else INDEX_MAGIC
+    if v3:
+        out += INDEX_MAGIC_V3
+    elif v2:
+        out += INDEX_MAGIC_V2
+    else:
+        out += INDEX_MAGIC
     out += struct.pack(
         "<BBBB", index.rank, _DTYPES[np.dtype(index.dtype)], index.mode_code, 0
     )
@@ -201,7 +236,16 @@ def pack_index(index: StoreIndex) -> bytes:
             raise InvalidArgumentError("frame entry count does not match the grid")
         for e in frame:
             out += struct.pack(_ENTRY_FMT, e.shard, e.offset, e.length, e.crc32)
-    if v2:
+    if v3:
+        for frame_tags in codecs:
+            if len(frame_tags) != len(index.chunks):
+                raise InvalidArgumentError(
+                    "frame codec tag count does not match the grid"
+                )
+            if any(t not in (0, 1, 2) for t in frame_tags):
+                raise InvalidArgumentError(f"unknown codec tag in {frame_tags}")
+            out += struct.pack(f"<{len(frame_tags)}B", *frame_tags)
+    if v2 or v3:
         for m in masks:
             blob = m if m is not None else b""
             out += struct.pack("<QI", len(blob), zlib.crc32(blob))
@@ -223,6 +267,8 @@ def parse_index(payload: bytes) -> StoreIndex:
         version = 1
     elif payload[:8] == INDEX_MAGIC_V2:
         version = 2
+    elif payload[:8] == INDEX_MAGIC_V3:
+        version = 3
     else:
         raise StreamFormatError("not a store index (bad magic)")
     with decode_guard("store"):
@@ -279,6 +325,8 @@ def _parse_index_body(payload: bytes, version: int) -> StoreIndex:
     if n_shards < 1:
         raise StreamFormatError("index declares zero shards")
     expected = pos + n_frames * n_chunks * _ENTRY_SIZE
+    if version >= 3:
+        expected += n_frames * n_chunks  # codec tag table
     if version >= 2:
         expected += n_frames * 12  # mask table, blob sizes checked below
     if (len(payload) != expected if version < 2 else len(payload) < expected):
@@ -309,6 +357,18 @@ def _parse_index_body(payload: bytes, version: int) -> StoreIndex:
                 )
             )
         entries.append(tuple(frame))
+    frame_codecs: tuple[tuple[int, ...], ...] = ()
+    if version >= 3:
+        tags = []
+        for _ in range(n_frames):
+            frame_tags = struct.unpack_from(f"<{n_chunks}B", payload, pos)
+            pos += n_chunks
+            if any(t > 2 for t in frame_tags):
+                raise StreamFormatError(
+                    "store index carries an unknown codec tag"
+                )
+            tags.append(tuple(int(t) for t in frame_tags))
+        frame_codecs = tuple(tags)
     frame_masks: tuple[bytes | None, ...] = (None,) * n_frames
     if version >= 2:
         table = []
@@ -344,4 +404,5 @@ def _parse_index_body(payload: bytes, version: int) -> StoreIndex:
         n_shards=int(n_shards),
         entries=tuple(entries),
         frame_masks=frame_masks,
+        frame_codecs=frame_codecs,
     )

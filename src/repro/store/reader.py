@@ -48,7 +48,13 @@ from ..errors import (
     StreamFormatError,
     decode_guard,
 )
-from ..core.container import ChunkDecodeStatus, DecodeReport, DecodeResult
+from ..core.adaptive import CODEC_SPERR
+from ..core.container import (
+    ChunkDecodeStatus,
+    DecodeReport,
+    DecodeResult,
+    decode_tagged_chunk,
+)
 from ..core.mask import apply_mask, decode_mask, mask_summary
 from ..core.parallel import robust_chunk_map
 from ..core.pipeline import decompress_chunk
@@ -104,20 +110,55 @@ def _decode_multires(
     return box
 
 
+def _decimate_to_level(
+    box: np.ndarray, level: int, levels_cap: int | None
+) -> np.ndarray:
+    """Coarsen a fully decoded chunk by ``[::2]`` decimation per level.
+
+    Non-sperr chunk streams (szx / stored) have no wavelet pyramid to
+    reconstruct partway, so coarse previews subsample the full decode.
+    The per-axis depth rule mirrors :func:`_coarse_extent` exactly —
+    ``[::2]`` on an ``n``-long axis yields ``(n + 1) // 2`` points — so
+    mixed-codec coarse tiles assemble on one grid.
+    """
+    for ax, n in enumerate(box.shape):
+        depth = num_levels(n)
+        if levels_cap is not None:
+            depth = min(depth, levels_cap)
+        for _ in range(min(level, depth)):
+            sel = [slice(None)] * box.ndim
+            sel[ax] = slice(None, None, 2)
+            box = box[tuple(sel)]
+    return box
+
+
 def _decode_store_chunk(
-    item: tuple[bytes, tuple[int, ...], int, int, int | None, float | None],
+    item: tuple[
+        bytes, tuple[int, ...], int, int, int | None, float | None, int
+    ],
     rank: int,
 ) -> np.ndarray:
     """Module-level chunk-decode job (picklable for the process executor).
 
     ``item`` is ``(stream, expected_shape, crc, level, levels_cap,
-    fraction)``; the CRC is verified here, inside the executor, so a
-    damaged chunk costs one checksum before any decode work.
+    fraction, codec_tag)``; the CRC is verified here, inside the
+    executor, so a damaged chunk costs one checksum before any decode
+    work.
     """
-    stream, expected_shape, crc, level, levels_cap, fraction = item
-    with obs.span("store.chunk.decode", nbytes=len(stream), level=level):
+    stream, expected_shape, crc, level, levels_cap, fraction, tag = item
+    with obs.span(
+        "store.chunk.decode", nbytes=len(stream), level=level, codec=tag
+    ):
         if zlib.crc32(stream) != crc:
             raise IntegrityError(f"chunk CRC mismatch (stored {crc:#010x})")
+        if tag != CODEC_SPERR:
+            # Fast-tier chunks decode whole: no embedded bitstream to
+            # budget-truncate and no pyramid, so previews decimate.
+            with decode_guard("store"):
+                box = decode_tagged_chunk(stream, tag, rank, expected_shape)
+            if level > 0:
+                box = _decimate_to_level(box, level, levels_cap)
+            return box
         with decode_guard("store"):
             raw = lossless.decompress(stream)
             if fraction is not None and fraction < 1.0:
@@ -130,7 +171,9 @@ def _decode_store_chunk(
 
 
 def _salvage_store_chunk(
-    item: tuple[bytes, tuple[int, ...], int, int, int | None, float | None],
+    item: tuple[
+        bytes, tuple[int, ...], int, int, int | None, float | None, int
+    ],
     rank: int,
 ) -> tuple[str, np.ndarray | str]:
     """Salvage-mode decode job: never raises, returns ``(status, value)``."""
@@ -441,6 +484,7 @@ class CompressedArray:
                     level,
                     self._index.levels,
                     fraction,
+                    self._index.codec_tag(frame, i),
                 )
                 for i in readable
             ]
@@ -669,6 +713,14 @@ class CompressedArray:
             "masked_frames": masked_frames,
             "cache": self.cache.stats(),
         }
+        if index.frame_codecs:
+            counts = {0: 0, 1: 0, 2: 0}
+            for frame_tags in index.frame_codecs:
+                for t in frame_tags:
+                    counts[t] += 1
+            info["codec_counts"] = {
+                "sperr": counts[0], "szx": counts[1], "stored": counts[2]
+            }
         if masked_frames:
             info["mask_bytes"] = sum(
                 len(m) for m in index.frame_masks if m is not None

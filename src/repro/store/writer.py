@@ -57,6 +57,7 @@ class StoreWriter:
         shard_bytes: int = DEFAULT_SHARD_BYTES,
         executor: str = "serial",
         workers: int | None = None,
+        codec: str = "quality",
     ) -> None:
         if shard_bytes < 1:
             raise InvalidArgumentError("shard_bytes must be positive")
@@ -74,10 +75,12 @@ class StoreWriter:
         self.shard_bytes = int(shard_bytes)
         self.executor = executor
         self.workers = workers
+        self.codec = codec
         self.path.mkdir(parents=True, exist_ok=True)
         self._meta: dict | None = None  # rank/dtype/mode_code/shape/chunks
         self._entries: list[tuple[ChunkEntry, ...]] = []
         self._frame_masks: list[bytes | None] = []
+        self._frame_codecs: list[tuple[int, ...]] = []
         self._shard_id = -1
         self._shard_file = None
         self._shard_pos = 0
@@ -115,6 +118,7 @@ class StoreWriter:
             lossless_method=self.lossless_method,
             executor=self.executor,
             workers=self.workers,
+            codec=self.codec,
         )
         parsed = parse_container(result.payload)
         if self._meta is None:
@@ -152,6 +156,9 @@ class StoreWriter:
         # index (per-frame table), not in the shards — the chunk streams
         # themselves stay mask-free and byte-identical to container ones.
         self._frame_masks.append(parsed.mask_blob)
+        self._frame_codecs.append(
+            parsed.codec_tags or (0,) * len(parsed.streams)
+        )
         return result
 
     def _write_stream(self, stream: bytes, crc: int) -> ChunkEntry:
@@ -203,6 +210,11 @@ class StoreWriter:
             n_shards=self._shard_id + 1,
             entries=tuple(self._entries),
             frame_masks=tuple(self._frame_masks),
+            frame_codecs=(
+                tuple(self._frame_codecs)
+                if any(any(t != 0 for t in f) for f in self._frame_codecs)
+                else ()
+            ),
         )
         # Durable, atomic index publication: the temp file is fsynced
         # before the rename and the directory after it, so a crash at

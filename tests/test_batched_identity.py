@@ -194,6 +194,52 @@ class TestStackedLaneIdentity:
 
 
 # ---------------------------------------------------------------------------
+# SZx fast-tier lanes: stacked encode == per-chunk encode, byte for byte.
+
+
+class TestSzxLaneIdentity:
+    """The szx tier reuses the stacked-lane contract: encoding many
+    chunks through one kernel pass must produce exactly the streams the
+    one-chunk entry point produces, so mixed-codec containers are
+    reproducible whichever executor built them."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(0, 2**16),
+        st.integers(1, 6),
+        st.sampled_from([1e-1, 1e-3, 1e-6]),
+    )
+    def test_encode_chunks_matches_encode_chunk(self, seed, n_lanes, tol):
+        from repro.compressors.szxlike.codec import encode_chunk, encode_chunks
+
+        rng = np.random.default_rng(seed)
+        arrays = []
+        for i in range(n_lanes):
+            kind = i % 3
+            size = int(rng.integers(1, 700))
+            if kind == 0:
+                arrays.append(np.full(size, float(rng.normal())))
+            elif kind == 1:
+                arrays.append(np.linspace(0, rng.normal(), size))
+            else:
+                arrays.append(rng.normal(size=size) * 10.0)
+        batched = encode_chunks(arrays, tol)
+        for arr, stream in zip(arrays, batched):
+            assert encode_chunk(arr, tol) == stream
+
+    @pytest.mark.parametrize("codec", ["fast", "adaptive"])
+    def test_fast_payloads_identical_across_executors(self, codec):
+        data = _field((23, 23), seed=17)
+        mode = PweMode(1e-3)
+        serial = compress(data, mode, chunk_shape=8, executor="serial", codec=codec)
+        batch = compress(data, mode, chunk_shape=8, executor="batch", codec=codec)
+        assert batch.payload == serial.payload
+        np.testing.assert_array_equal(
+            decompress(batch.payload), decompress(serial.payload)
+        )
+
+
+# ---------------------------------------------------------------------------
 # Observability: the batched path reports the same counters.
 
 

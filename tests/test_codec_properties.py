@@ -25,7 +25,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.compressors import ALL_COMPRESSORS
@@ -38,7 +38,7 @@ from repro.errors import ReproError
 #: transform can graze the bound by a few ulps.
 _SLACK = 1.0 + 1e-9
 
-_PWE_CODECS = ("sperr", "sz-like", "zfp-like", "mgard-like")
+_PWE_CODECS = ("sperr", "sz-like", "zfp-like", "mgard-like", "szx-like")
 
 
 @st.composite
@@ -118,5 +118,118 @@ def test_truncation_contract(data, tol, frac):
         result = decompress(cut, on_error="salvage")
     except ReproError:
         return  # framing itself unreadable: a clean rejection is the contract
+    assert isinstance(result, DecodeResult)
+    assert result.data.shape == data.shape
+
+
+# ---------------------------------------------------------------------------
+# SZx-style fast tier + adaptive dispatch properties.
+
+
+@st.composite
+def masked_arrays(draw):
+    """A small array with optional NaN/Inf holes punched into it."""
+    data = np.array(draw(arrays()))
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = np.random.default_rng(seed)
+    n_bad = draw(st.integers(0, max(1, data.size // 4)))
+    if n_bad and data.size > 1:
+        flat = data.reshape(-1)
+        idx = rng.choice(data.size, size=min(n_bad, data.size - 1), replace=False)
+        fills = rng.choice([np.nan, np.inf, -np.inf], size=idx.size)
+        flat[idx] = fills
+    return data
+
+
+def _ulp_edge_case() -> np.ndarray:
+    """float32 ramp to ~383 with one Inf: a stray Inf used to disable
+    the float32 ULP tightening, letting the cast on decode push the
+    error just past the bound (found by Hypothesis)."""
+    data = np.arange(384, dtype=np.float32).reshape(6, 8, 8)
+    data.reshape(-1)[326] = np.inf
+    return data
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=masked_arrays(), tol=tolerances)
+@example(data=_ulp_edge_case(), tol=1e-3).via('discovered failure')
+def test_szx_mask_and_dtype_exact(data, tol):
+    """szx-like preserves dtype and reproduces NaN/Inf holes exactly."""
+    comp = ALL_COMPRESSORS["szx-like"]()
+    out = comp.decompress(comp.compress(data, PweMode(tol)))
+    assert out.dtype == data.dtype
+    assert out.shape == data.shape
+    bad = ~np.isfinite(data)
+    # Non-finite samples come back bit-true (NaN as NaN, signed Inf as is).
+    np.testing.assert_array_equal(bad, ~np.isfinite(out))
+    np.testing.assert_array_equal(data[bad], out[bad])
+    if bad.all():
+        return
+    worst = float(
+        np.max(
+            np.abs(
+                out[~bad].astype(np.float64) - data[~bad].astype(np.float64)
+            )
+        )
+    )
+    assert worst <= tol * _SLACK
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=arrays(), tol=tolerances, frac=st.floats(0.0, 1.0, exclude_max=True))
+def test_szx_frame_truncation_raises(data, tol, frac):
+    """A truncated szx-like frame always raises a library error."""
+    comp = ALL_COMPRESSORS["szx-like"]()
+    payload = comp.compress(data, PweMode(tol))
+    cut = payload[: int(frac * len(payload))]
+    with pytest.raises(ReproError):
+        comp.decompress(cut)
+
+
+@pytest.mark.parametrize("codec", ["quality", "fast", "adaptive"])
+@settings(max_examples=15, deadline=None)
+@given(data=arrays(), tol=tolerances)
+def test_codec_policies_hold_pwe_bound(codec, data, tol):
+    """Every codec= policy reconstructs within the point-wise bound."""
+    payload = compress(data, PweMode(tol), codec=codec).payload
+    out = decompress(payload)
+    assert out.shape == data.shape
+    assert out.dtype == data.dtype
+    worst = float(
+        np.max(
+            np.abs(
+                np.asarray(out, dtype=np.float64)
+                - np.asarray(data, dtype=np.float64)
+            )
+        )
+    )
+    assert worst <= tol * _SLACK
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=arrays(), tol=tolerances)
+def test_fast_container_reparse_identity(data, tol):
+    """v4 containers rebuild byte-identically, codec tags included."""
+    payload = compress(data, PweMode(tol), codec="fast").payload
+    p = parse_container(payload)
+    rebuilt = build_container(
+        p.rank, p.dtype, p.mode_code, p.shape, p.chunks, p.streams,
+        version=p.format_version, codec_tags=p.codec_tags,
+    )
+    assert rebuilt == payload
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=arrays(), tol=tolerances, frac=st.floats(0.0, 1.0, exclude_max=True))
+def test_fast_truncation_contract(data, tol, frac):
+    """Truncated mixed-codec containers reject cleanly or salvage."""
+    payload = compress(data, PweMode(tol), codec="fast").payload
+    cut = payload[: int(frac * len(payload))]
+    with pytest.raises(ReproError):
+        decompress(cut)
+    try:
+        result = decompress(cut, on_error="salvage")
+    except ReproError:
+        return
     assert isinstance(result, DecodeResult)
     assert result.data.shape == data.shape

@@ -77,7 +77,7 @@ class TestRepoDocuments:
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
          "docs/algorithms.md", "docs/architecture.md", "docs/file-format.md",
          "docs/api.md", "docs/observability.md", "docs/store.md",
-         "docs/robustness.md", "docs/service.md",
+         "docs/robustness.md", "docs/service.md", "docs/adaptive.md",
          "benchmarks/README.md"],
     )
     def test_document_exists_and_substantial(self, name):

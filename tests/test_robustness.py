@@ -21,6 +21,7 @@ from repro.compressors import (
     MgardLikeCompressor,
     SperrCompressor,
     SzLikeCompressor,
+    SzxLikeCompressor,
     TthreshLikeCompressor,
     ZfpLikeCompressor,
 )
@@ -154,6 +155,7 @@ _FUZZ_CODECS = {
     "zfp-like": (ZfpLikeCompressor(), PweMode(1e-3)),
     "tthresh-like": (TthreshLikeCompressor(), PsnrMode(60.0)),
     "mgard-like": (MgardLikeCompressor(), PweMode(1e-3)),
+    "szx-like": (SzxLikeCompressor(), PweMode(1e-3)),
 }
 
 
@@ -339,6 +341,73 @@ class TestContainerV2Integrity:
     def test_decode_result_is_array_like(self, chunked_payload):
         result = repro.decompress(chunked_payload, on_error="salvage")
         assert np.asarray(result).shape == (16, 16, 16)
+
+
+# --- container v4 (mixed-codec chunk table) integrity and salvage -----------
+
+
+@pytest.fixture(scope="module")
+def mixed_payload(field):
+    """A v4 container whose chunk table mixes szx and sperr tags."""
+    rough = np.array(field)
+    rough[8:] += np.random.default_rng(5).normal(
+        0.0, 0.5 * float(field.max() - field.min()), size=rough[8:].shape
+    )
+    t = 1e-5 * float(rough.max() - rough.min())
+    payload = repro.compress(
+        rough, repro.PweMode(t), chunk_shape=8, codec="adaptive"
+    ).payload
+    tags = parse_container(payload).codec_tags
+    assert tags is not None and len(set(tags)) > 1, "fixture must mix codecs"
+    return payload
+
+
+class TestContainerV4Integrity:
+    """The adaptive chunk table keeps the v2 integrity contract: tags are
+    CRC-covered, per-chunk damage is localized, and corrupted mixed
+    payloads never escape the error hierarchy."""
+
+    def test_codec_tag_bit_flip_detected(self, mixed_payload):
+        # The tag column sits inside the CRC-covered header; flipping a
+        # tag must be caught before any chunk decode trusts it.
+        parsed = parse_container(mixed_payload)
+        head_len = len(mixed_payload) - sum(len(s) for s in parsed.streams)
+        n = len(parsed.streams)
+        # tag column: n bytes before the 12-byte mask-blob record that
+        # ends the (CRC-covered) header; the mask blob itself is empty
+        # for this all-finite fixture.
+        for pos in range(head_len - 12 - n, head_len - 12):
+            bad = bytearray(mixed_payload)
+            bad[pos] ^= 0x01
+            with pytest.raises(ReproError):
+                repro.decompress(bytes(bad))
+
+    def test_szx_chunk_bit_flip_detected_and_salvageable(self, mixed_payload):
+        parsed = parse_container(mixed_payload)
+        assert parsed.codec_tags is not None
+        target = parsed.codec_tags.index(1)  # first szx-tagged chunk
+        head_len = len(mixed_payload) - sum(len(s) for s in parsed.streams)
+        offset = head_len + sum(len(s) for s in parsed.streams[:target])
+        bad = bytearray(mixed_payload)
+        bad[offset + len(parsed.streams[target]) // 2] ^= 0xFF
+        with pytest.raises(ReproError):
+            repro.decompress(bytes(bad))
+        result = repro.decompress(bytes(bad), on_error="salvage")
+        assert result.report.failed_chunks == [target]
+        sel = tuple(slice(a, b) for a, b in parsed.chunks[target].bounds)
+        assert np.isnan(result.data[sel]).all()
+
+    def test_mixed_container_survives_fault_operators(self, mixed_payload):
+        report = fuzz_decoder(
+            repro.decompress, mixed_payload, n=100, seed=4242, time_limit=20.0
+        )
+        assert report.ok, f"v4 container fuzz: {report.summary()}"
+
+    def test_mixed_container_survives_composed_faults(self, mixed_payload):
+        report = fuzz_decoder(
+            repro.decompress, mixed_payload, n=100, n_ops=2, seed=515
+        )
+        assert report.ok, f"v4 composed fuzz: {report.summary()}"
 
 
 class TestV1Compatibility:

@@ -2,7 +2,7 @@
 
 The registry is declarative test data (name -> builder); the scorecard
 is the robustness gate built on it.  Tier-1 runs only the smoke subset
-— the full 36 x 5 matrix runs in the opt-in CI job.
+— the full 42 x 7 matrix runs in the opt-in CI job.
 """
 
 from __future__ import annotations
@@ -25,8 +25,8 @@ from repro.errors import InvalidArgumentError
 
 class TestRegistry:
     def test_registry_shape(self):
-        # 2 dtypes x 3 ranks x 6 variants.
-        assert len(SCENARIOS) == 36
+        # 2 dtypes x 3 ranks x 7 variants.
+        assert len(SCENARIOS) == 42
         for name, scenario in SCENARIOS.items():
             assert scenario.name == name
 
@@ -75,9 +75,14 @@ class TestScorecard:
         return run_scorecard(smoke_only=True)
 
     def test_smoke_matrix_passes(self, smoke):
+        from repro.compressors import ALL_COMPRESSORS
+
         assert isinstance(smoke, Scorecard)
         assert smoke.n_failed == 0, format_scorecard(smoke)
-        assert len(smoke.cells) == len(SMOKE_SCENARIOS) * 5
+        # every registry codec plus the adaptive-pipeline row
+        assert len(smoke.cells) == len(SMOKE_SCENARIOS) * (
+            len(ALL_COMPRESSORS) + 1
+        )
 
     def test_cells_carry_metrics(self, smoke):
         for cell in smoke.cells:
@@ -93,8 +98,31 @@ class TestScorecard:
 
     def test_format_scorecard_mentions_every_codec(self, smoke):
         text = format_scorecard(smoke)
-        for codec in ("sperr", "sz-like", "zfp-like", "tthresh-like", "mgard-like"):
+        for codec in (
+            "sperr",
+            "sz-like",
+            "szx-like",
+            "zfp-like",
+            "tthresh-like",
+            "mgard-like",
+            "adaptive",
+        ):
             assert codec in text
+
+    def test_adaptive_rows_carry_routing_counts(self, smoke):
+        adaptive = [c for c in smoke.cells if c.codec == "adaptive"]
+        assert adaptive
+        for cell in adaptive:
+            assert cell.routing, f"no routing counts on {cell.scenario}"
+            assert set(cell.routing) <= {"sperr", "szx", "stored"}
+            assert sum(cell.routing.values()) >= 1
+        # registry codecs never report routing
+        assert all(
+            c.routing is None for c in smoke.cells if c.codec != "adaptive"
+        )
+
+    def test_mixed_scenario_in_smoke_subset(self):
+        assert any("mixed" in s.tags for s in SMOKE_SCENARIOS.values())
 
     def test_codec_filter(self):
         card = run_scorecard(
